@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation.  All heavy simulation happens once, through the cached
+:class:`ReproductionPipeline`; each benchmark then times the (cheap)
+artifact assembly and prints/saves the artifact.
+
+Profile resolution (env var ``REPRO_BENCH_PROFILE``):
+
+* ``paper``  — the full 40-config catalog at Cab scale (uses / fills
+  ``results/paper_cache.json``; a cold run takes ~40 minutes).
+* ``quick``  — a 10-config catalog with shorter windows (cold: minutes).
+* ``auto``   (default) — ``paper`` when the paper cache already exists,
+  else ``quick``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PAPER_CACHE = REPO_ROOT / "results" / "paper_cache.json"
+QUICK_CACHE = REPO_ROOT / "results" / "quick_cache.json"
+ARTIFACTS = REPO_ROOT / "results" / "artifacts"
+
+
+def _resolve_profile() -> str:
+    requested = os.environ.get("REPRO_BENCH_PROFILE", "auto")
+    if requested == "auto":
+        return "paper" if PAPER_CACHE.exists() else "quick"
+    return requested
+
+
+@pytest.fixture(scope="session")
+def pipeline() -> ReproductionPipeline:
+    profile = _resolve_profile()
+    if profile == "paper":
+        settings = PipelineSettings(profile="paper")
+        cache = PAPER_CACHE
+    else:
+        settings = PipelineSettings(
+            profile="quick",
+            impact_duration=0.02,
+            signature_duration=0.02,
+            calibration_duration=0.03,
+        )
+        cache = QUICK_CACHE
+    return ReproductionPipeline(settings=settings, cache_path=cache, verbose=True)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
+    return ARTIFACTS
+
+
+def save_artifact(directory: Path, name: str, text: str) -> None:
+    """Write an artifact file and echo it to the terminal."""
+    path = directory / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[artifact saved to {path}]")

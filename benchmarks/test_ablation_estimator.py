@@ -1,0 +1,44 @@
+"""Ablation — how faithful is the paper's P–K utilization estimator?
+
+The paper cannot see switch counters; we can.  This bench compares the
+probe-derived utilization estimate (Eq. 3 inversion) against the
+simulator's ground-truth port-busy fraction across the CompressionB
+catalog.  The estimate is a *consistent monotone coordinate* rather than a
+physical truth — which is all the prediction methodology requires — and
+this bench quantifies exactly that: high rank correlation, systematic
+positive bias.
+"""
+
+import numpy as np
+from conftest import save_artifact
+from scipy import stats
+
+
+def _build(pipeline):
+    rows = []
+    for obs in pipeline.compression_signatures():
+        rows.append((obs.label, obs.utilization, obs.impact.true_utilization))
+    rows.sort(key=lambda row: row[2])
+    lines = ["Ablation — P-K estimated vs ground-truth utilization", ""]
+    lines.append(f"{'config':20s}{'estimated':>12s}{'true':>12s}")
+    for label, estimated, true in rows:
+        lines.append(f"{label:20s}{estimated * 100:11.1f}%{true * 100:11.1f}%")
+    estimated = np.array([row[1] for row in rows])
+    true = np.array([row[2] for row in rows])
+    rho, _p = stats.spearmanr(estimated, true)
+    lines.append("")
+    lines.append(f"Spearman rank correlation: {rho:.3f}")
+    lines.append(f"mean bias (estimated - true): {np.mean(estimated - true) * 100:+.1f} points")
+    return "\n".join(lines), estimated, true, float(rho)
+
+
+def test_ablation_estimator_vs_ground_truth(benchmark, pipeline, artifact_dir):
+    text, estimated, true, rho = benchmark.pedantic(
+        lambda: _build(pipeline), rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "ablation_estimator.txt", text)
+
+    # The estimator must be a usable coordinate: strongly rank-correlated
+    # with physical utilization across the catalog.
+    assert rho > 0.8, f"estimator badly ordered: spearman={rho}"
+    assert np.all(estimated >= 0) and np.all(estimated < 1)

@@ -1,0 +1,64 @@
+"""Ablation — the phase-aware queue model (our extension) vs the paper's.
+
+The paper's §V-B attributes its largest error to phase-alternating
+co-runners (AMG): the queue model "assumes a constant utilization of the
+network".  The phase-aware extension splits the co-runner's latency
+histogram into phases and combines per-phase predictions.  This bench fits
+both models on the same products and compares their error distributions
+over all measured pairings.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.core.models import PhaseAwareQueueModel, QueueModel
+
+
+def _build(pipeline):
+    observations = pipeline.compression_signatures()
+    degradations = pipeline.degradation_table()
+    calibration = pipeline.calibration()
+    plain = QueueModel().fit(observations, degradations)
+    aware = PhaseAwareQueueModel(calibration).fit(observations, degradations)
+    measured = pipeline.measured_pairs()
+
+    rows = []
+    plain_errors, aware_errors = [], []
+    for (app, other), real in measured.items():
+        signature = pipeline.app_impact(other).signature
+        plain_prediction = plain.predict(app, signature)
+        aware_prediction = aware.predict(app, signature)
+        plain_errors.append(abs(real - plain_prediction))
+        aware_errors.append(abs(real - aware_prediction))
+        rows.append((app, other, real, plain_prediction, aware_prediction))
+
+    lines = ["Ablation — Queue vs PhaseAwareQueue", ""]
+    lines.append(
+        f"{'pairing':20s}{'measured':>10s}{'queue':>10s}{'phase-aware':>12s}"
+    )
+    for app, other, real, plain_p, aware_p in rows:
+        lines.append(
+            f"{app + ' | ' + other:20s}{real:10.1f}{plain_p:10.1f}{aware_p:12.1f}"
+        )
+    lines.append("")
+    lines.append(
+        f"median |error|: queue={np.median(plain_errors):.2f}  "
+        f"phase-aware={np.median(aware_errors):.2f}"
+    )
+    lines.append(
+        f"mean   |error|: queue={np.mean(plain_errors):.2f}  "
+        f"phase-aware={np.mean(aware_errors):.2f}"
+    )
+    return "\n".join(lines), plain_errors, aware_errors
+
+
+def test_ablation_phase_aware_model(benchmark, pipeline, artifact_dir):
+    text, plain_errors, aware_errors = benchmark.pedantic(
+        lambda: _build(pipeline), rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "ablation_phase_aware.txt", text)
+
+    # The extension must not be dramatically worse overall...
+    assert np.mean(aware_errors) < np.mean(plain_errors) + 5.0
+    # ...and both must remain finite and sane.
+    assert np.isfinite(aware_errors).all() and np.isfinite(plain_errors).all()

@@ -1,0 +1,62 @@
+"""Ablation — is ImpactB really non-intrusive?
+
+The paper asserts the probe's "extra load is very low" and does not perturb
+the application.  We measure an application's runtime with no probe, with
+the default probe interval, and with a 10× more aggressive probe, and
+report the induced slowdown.
+"""
+
+from conftest import save_artifact
+
+from repro.cluster import Machine, PerSocketPlacement
+from repro.core.measurement import LatencyCollector
+from repro.mpi import MPIWorld
+from repro.units import MS
+from repro.workloads import MILC, ImpactB
+
+
+def _run_with_probe(machine_config, app, interval):
+    machine = Machine(machine_config)
+    if interval is not None:
+        collector = LatencyCollector()
+        probe = ImpactB(collector, interval=interval)
+        probe_world = MPIWorld.create(machine, PerSocketPlacement(1), name="impactb")
+        probe_world.launch(probe)
+    app_world = MPIWorld.create(
+        machine, app.preferred_placement(machine_config), name=app.name
+    )
+    job = app_world.launch(app)
+    machine.sim.run_until_event(job.done)
+    return job.elapsed
+
+
+def _build(pipeline):
+    app = MILC()
+    config = pipeline.machine_config
+    base = _run_with_probe(config, app, None)
+    rows = []
+    for label, interval in [
+        ("default (0.25ms)", 0.25 * MS),
+        ("aggressive (25µs)", 0.025 * MS),
+    ]:
+        elapsed = _run_with_probe(config, app, interval)
+        slowdown = 100.0 * (elapsed - base) / base
+        rows.append((label, slowdown))
+    lines = [
+        "Ablation — probe intrusiveness (MILC runtime vs probe interval)",
+        f"  no probe           : {base * 1e3:8.2f}ms (baseline)",
+    ]
+    for label, slowdown in rows:
+        lines.append(f"  {label:19s}: {slowdown:+8.2f}% slowdown")
+    return "\n".join(lines), dict(rows)
+
+
+def test_ablation_probe_intrusiveness(benchmark, pipeline, artifact_dir):
+    text, slowdowns = benchmark.pedantic(
+        lambda: _build(pipeline), rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "ablation_probe_rate.txt", text)
+
+    # The paper's claim: the default probe does not meaningfully impact the
+    # application (noise-level effect).
+    assert abs(slowdowns["default (0.25ms)"]) < 5.0

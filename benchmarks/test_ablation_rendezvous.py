@@ -1,0 +1,64 @@
+"""Ablation — transport-protocol sensitivity of the methodology.
+
+The paper's CompressionB sends 40 KB messages, which many MPI builds move
+via the rendezvous protocol rather than eagerly.  This bench re-measures a
+slice of the utilization catalog with an MVAPICH-like 16 KB eager threshold
+and compares against the eager-only default: the methodology's coordinate
+(true port utilization under each config) should be robust to the
+transport-protocol choice.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.core.experiments import JobSpec, execute
+from repro.units import KB
+from repro.workloads import CompressionB, CompressionConfig
+
+CONFIGS = [
+    CompressionConfig(1, 1, 2.5e6),
+    CompressionConfig(7, 1, 2.5e6),
+    CompressionConfig(4, 10, 2.5e6),
+    CompressionConfig(7, 1, 2.5e5),
+]
+
+
+def _measure(pipeline, config, threshold):
+    result = execute(
+        pipeline.machine_config,
+        [
+            JobSpec(
+                CompressionB(config),
+                "comp",
+                daemon=True,
+                eager_threshold=threshold,
+            )
+        ],
+        duration=0.02,
+    )
+    return result.true_utilization
+
+
+def _build(pipeline):
+    lines = ["Ablation — eager vs rendezvous transport (true utilization)", ""]
+    lines.append(f"{'config':20s}{'eager':>10s}{'rendezvous':>12s}{'delta':>8s}")
+    deltas = []
+    for config in CONFIGS:
+        eager = _measure(pipeline, config, threshold=None)
+        rendezvous = _measure(pipeline, config, threshold=16 * KB)
+        delta = rendezvous - eager
+        deltas.append(delta)
+        lines.append(
+            f"{config.label:20s}{eager * 100:9.1f}%{rendezvous * 100:11.1f}%"
+            f"{delta * 100:+7.1f}"
+        )
+    return "\n".join(lines), deltas
+
+
+def test_ablation_rendezvous_transport(benchmark, pipeline, artifact_dir):
+    text, deltas = benchmark.pedantic(lambda: _build(pipeline), rounds=1, iterations=1)
+    save_artifact(artifact_dir, "ablation_rendezvous.txt", text)
+
+    # Rendezvous adds control round-trips and receiver pacing; utilization
+    # may shift, but the measurement coordinate must not collapse or invert.
+    assert all(abs(delta) < 0.35 for delta in deltas), deltas

@@ -1,0 +1,57 @@
+"""Fig. 3 — distributions of probe packet latencies on the (simulated) Cab.
+
+Paper claims reproduced here:
+* the idle switch shows ~1.25 µs typical latency with a small slow tail;
+* running applications shift the distribution right — FFTW strongly,
+  Lulesh/MILC move the mode, MCB fattens the tail;
+* the network-quiet apps (MCB) shift far less than FFTW.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import render_histogram
+
+
+def _build_fig3(pipeline):
+    chunks = []
+    idle = pipeline.idle_signature()
+    chunks.append(
+        render_histogram(
+            idle.histogram.fractions,
+            idle.histogram.edges,
+            title=f"No App (mean {idle.mean * 1e6:.2f}µs)",
+        )
+    )
+    signatures = {}
+    for name in pipeline.app_names:
+        signature = pipeline.app_impact(name).signature
+        signatures[name] = signature
+        chunks.append(
+            render_histogram(
+                signature.histogram.fractions,
+                signature.histogram.edges,
+                title=(
+                    f"{name} (mean {signature.mean * 1e6:.2f}µs, "
+                    f"fraction>2.5µs {signature.histogram.fraction_above(2.5e-6) * 100:.0f}%)"
+                ),
+            )
+        )
+    return "\n\n".join(chunks), idle, signatures
+
+
+def test_fig3_latency_distributions(benchmark, pipeline, artifact_dir):
+    text, idle, signatures = benchmark.pedantic(
+        lambda: _build_fig3(pipeline), rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "fig3_latency_distributions.txt", text)
+
+    # Shape checks (paper Fig. 3):
+    assert 0.5e-6 < idle.mean < 3e-6, "idle latency should be ~1µs"
+    if "fftw" in signatures:
+        assert signatures["fftw"].mean > 1.5 * idle.mean, (
+            "FFTW must visibly shift the probe distribution right"
+        )
+    if "mcb" in signatures and "fftw" in signatures:
+        assert signatures["fftw"].mean > signatures["mcb"].mean, (
+            "the network-quiet MCB shifts the mean less than FFTW"
+        )

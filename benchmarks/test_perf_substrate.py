@@ -1,0 +1,93 @@
+"""Substrate performance micro-benchmarks.
+
+Unlike the figure benchmarks (which time artifact assembly against cached
+results), these measure the simulator's own throughput: kernel event rate,
+switch packet rate, and end-to-end MPI collective cost.  Useful for
+catching performance regressions in the hot paths.
+"""
+
+import pytest
+
+from repro.cluster import Machine, small_test_config
+from repro.mpi import MPIWorld
+from repro.network import DeterministicService, OutputQueuedSwitch
+from repro.network.packet import Packet
+from repro.sim import RandomStreams, Simulator
+
+
+def test_perf_kernel_event_throughput(benchmark):
+    """Raw heap throughput: schedule/execute 200k trivial callbacks."""
+
+    def run():
+        sim = Simulator()
+        count = 200_000
+
+        def chain(remaining):
+            if remaining:
+                sim.schedule(1e-6, chain, remaining - 1)
+
+        sim.schedule(0.0, chain, count)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events == 200_001
+
+
+def test_perf_switch_packet_throughput(benchmark):
+    """Output-queued switch serving 100k packets across 16 ports."""
+
+    def run():
+        sim = Simulator()
+        switch = OutputQueuedSwitch(
+            sim,
+            port_bandwidth=5e9,
+            overhead_model=DeterministicService(1e-7),
+            rng=RandomStreams(0).stream("svc"),
+        )
+        for port in range(16):
+            switch.attach_endpoint(port, lambda packet: None)
+        for index in range(100_000):
+            switch.arrive(Packet(index, 0, True, 2048, 0, index % 16, flow=index % 64))
+        sim.run()
+        return switch.stats.served
+
+    served = benchmark(run)
+    assert served == 100_000
+
+
+def test_perf_mpi_allreduce(benchmark):
+    """Full-stack cost of 50 allreduces on 8 ranks."""
+
+    def run():
+        machine = Machine(small_test_config())
+        world = MPIWorld.create(machine, __import__("repro.cluster", fromlist=["PerSocketPlacement"]).PerSocketPlacement(1), name="perf")
+
+        def workload(ctx):
+            total = 0
+            for _ in range(50):
+                total = yield from ctx.comm.allreduce(1, nbytes=8)
+            return total
+
+        job = world.launch(workload)
+        machine.sim.run_until_event(job.done)
+        return job.results()[0]
+
+    result = benchmark(run)
+    assert result == 8  # sum of fifty allreduce(1) chains collapses to size
+
+
+def test_perf_fftw_iteration(benchmark):
+    """One FFTW iteration (two 8-rank alltoalls) through the whole stack."""
+    from repro.workloads import FFTW
+
+    def run():
+        machine = Machine(small_test_config())
+        app = FFTW(iterations=1, pack_compute=1e-6)
+        world = MPIWorld.create(machine, app.preferred_placement(machine.config), name="fftw")
+        job = world.launch(app)
+        machine.sim.run_until_event(job.done)
+        return job.elapsed
+
+    elapsed = benchmark(run)
+    assert elapsed > 0

@@ -1,0 +1,57 @@
+"""Capacity planning: how would my application run on a weaker network?
+
+The paper's Compression methodology (§III-B): instead of simulating future
+hardware, run the application against calibrated interference levels and
+read off the degradation at the capability loss you expect.  Here we sweep
+FFTW (network-hungry) and Lulesh (compute-bound) across five interference
+levels and fit the Fig. 7 linear trend.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import (
+    CompressionConfig,
+    CompressionExperiment,
+    FFTW,
+    Lulesh,
+    cab_config,
+    calibrate,
+)
+from repro.analysis import fit_degradation_trend
+from repro.units import MS
+
+LEVELS = [
+    CompressionConfig(1, 1, 2.5e7),
+    CompressionConfig(4, 1, 2.5e6),
+    CompressionConfig(4, 10, 2.5e6),
+    CompressionConfig(7, 1, 2.5e5),
+    CompressionConfig(4, 1, 2.5e4),
+]
+
+
+def main() -> None:
+    config = cab_config(seed=3)
+    calibration = calibrate(config, duration=0.03, probe_interval=0.25 * MS)
+    experiment = CompressionExperiment(config, calibration, probe_interval=0.25 * MS)
+
+    for app in (FFTW(), Lulesh()):
+        baseline = experiment.baseline(app)
+        print(f"\n{app.name}: baseline {baseline * 1e3:.2f}ms")
+        points = []
+        for level in LEVELS:
+            observation = experiment.signature_of(level, duration=0.02)
+            degradation = experiment.degradation(app, level, baseline)
+            points.append((observation.utilization, degradation))
+            print(
+                f"  {level.label:18s} utilization {observation.utilization * 100:5.1f}%"
+                f"  ->  {degradation:+7.1f}% runtime"
+            )
+        fit = fit_degradation_trend(points)
+        print(
+            f"  trend: {fit.slope:.1f}% degradation per 100% utilization "
+            f"(r²={fit.r_squared:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

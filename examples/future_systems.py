@@ -1,0 +1,86 @@
+"""Future systems: predict performance on weaker networks two ways.
+
+The paper's motivation (i): "predict how their applications will perform on
+future systems with poorer network-to-node performance ratios".  This
+example compares:
+
+1. the direct route — actually simulate the weaker network (ground truth
+   only a simulator can give), and
+2. the paper's route — the *performance relativity* principle: probe the
+   weaker network idle, find which utilization of the *current* network it
+   impersonates, and read the application's degradation curve (built once
+   from a CompressionB sweep) at that coordinate.
+
+If the principle holds, the two columns agree — without route 2 ever
+running the application on the future network.
+
+Run:  python examples/future_systems.py   (~2-3 minutes)
+"""
+
+import numpy as np
+
+from repro import (
+    CompressionConfig,
+    CompressionExperiment,
+    FFTW,
+    cab_config,
+    calibrate,
+)
+from repro.core.experiments import equivalent_utilization, network_scaling_study
+from repro.units import MS
+
+CURVE_CONFIGS = [
+    CompressionConfig(1, 1, 2.5e7),
+    CompressionConfig(4, 1, 2.5e6),
+    CompressionConfig(1, 10, 2.5e6),
+    CompressionConfig(7, 1, 2.5e5),
+    CompressionConfig(4, 1, 2.5e4),
+]
+FACTORS = (1.0, 2.0, 4.0)
+
+
+def main() -> None:
+    config = cab_config(seed=21)
+    app = FFTW(iterations=1)
+
+    print("calibrating and building the degradation curve (compression sweep) ...")
+    calibration = calibrate(config, duration=0.03, probe_interval=0.25 * MS)
+    experiment = CompressionExperiment(config, calibration, probe_interval=0.25 * MS)
+    baseline = experiment.baseline(app)
+    curve_x, curve_y = [], []
+    for level in CURVE_CONFIGS:
+        observation = experiment.signature_of(level, duration=0.02)
+        degradation = experiment.degradation(app, level, baseline)
+        curve_x.append(observation.utilization)
+        curve_y.append(degradation)
+    order = np.argsort(curve_x)
+    curve_x = np.asarray(curve_x)[order]
+    curve_y = np.asarray(curve_y)[order]
+
+    print("running the application on actually-weakened networks ...")
+    direct = network_scaling_study(config, app, factors=FACTORS)
+
+    print(f"\n{app.name}: predicted vs actual slowdown on weaker networks")
+    print(f"{'network':>10s}{'impersonates':>14s}{'predicted':>12s}{'actual':>10s}")
+    for point in direct:
+        rho = equivalent_utilization(
+            config, point.factor, calibration, probe_interval=0.25 * MS, duration=0.02
+        )
+        predicted = float(np.interp(rho, curve_x, curve_y))
+        print(
+            f"{point.factor:9.0f}x{rho * 100:13.1f}%"
+            f"{predicted:+11.1f}%{point.slowdown_percent:+9.1f}%"
+        )
+
+    print(
+        "\nNote: the relativity route tracks the trend but under-predicts\n"
+        "bandwidth-dominated slowdowns — the probe measures latency, and a\n"
+        "halved-bandwidth network hurts a transpose-heavy code more than a\n"
+        "latency-equivalent utilization does.  The paper only validates the\n"
+        "principle for contention, not for hardware scaling; the simulator\n"
+        "makes the gap measurable."
+    )
+
+
+if __name__ == "__main__":
+    main()

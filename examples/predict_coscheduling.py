@@ -1,0 +1,43 @@
+"""Predict co-scheduling slowdowns, then check against reality.
+
+The paper's headline use case (§V): measure each application *alone*
+(impact experiment + compression sweep), then predict how any pair will
+interfere — and validate against an actual co-run.  This example uses the
+quick 10-config catalog and two applications to keep the runtime short;
+`repro report --profile paper` reproduces the full 36-pair evaluation.
+
+Run:  python examples/predict_coscheduling.py
+"""
+
+from repro import PipelineSettings, ReproductionPipeline
+from repro import FFTW, MILC
+from repro.units import MS
+
+
+def main() -> None:
+    pipeline = ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick",
+            impact_duration=0.02,
+            signature_duration=0.02,
+            probe_interval=0.25 * MS,
+        ),
+        applications={"fftw": FFTW(), "milc": MILC()},
+        verbose=True,
+    )
+
+    engine = pipeline.engine()
+    for app, other in [("fftw", "milc"), ("milc", "fftw")]:
+        measured = pipeline.pair_slowdown(app, other)
+        print(f"\n{app} co-running with {other}:")
+        print(f"  measured : {measured:+6.1f}%")
+        for prediction in engine.predict_pair(app, other):
+            error = abs(measured - prediction.predicted)
+            print(
+                f"  {prediction.model:16s} {prediction.predicted:+6.1f}%  "
+                f"(|error| {error:.1f})"
+            )
+
+
+if __name__ == "__main__":
+    main()

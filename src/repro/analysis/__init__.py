@@ -1,0 +1,33 @@
+"""Analysis helpers: error statistics, trend fits, ASCII table renderers."""
+
+from .degradation import LinearFit, fit_degradation_trend, sensitivity_ranking
+from .errors import ErrorSummary, absolute_errors, fraction_within, summarize_errors
+from .report import degradation_curves, full_report
+from .tables import (
+    render_fig6,
+    render_fig7_series,
+    render_fig8,
+    render_fig9,
+    render_histogram,
+    render_matrix,
+    render_table1,
+)
+
+__all__ = [
+    "ErrorSummary",
+    "absolute_errors",
+    "summarize_errors",
+    "fraction_within",
+    "LinearFit",
+    "fit_degradation_trend",
+    "sensitivity_ranking",
+    "render_matrix",
+    "render_table1",
+    "render_fig6",
+    "render_fig7_series",
+    "render_fig8",
+    "render_fig9",
+    "render_histogram",
+    "full_report",
+    "degradation_curves",
+]

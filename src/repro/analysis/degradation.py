@@ -1,0 +1,64 @@
+"""Degradation-curve analysis (paper Fig. 7).
+
+The paper overlays each application's (utilization, degradation) points with
+"the best linear approximation to highlight the overall trend".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["LinearFit", "fit_degradation_trend", "sensitivity_ranking"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y = slope·x + intercept with goodness of fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def fit_degradation_trend(
+    points: Sequence[Tuple[float, float]]
+) -> LinearFit:
+    """Least-squares line through (utilization, % degradation) points.
+
+    Raises:
+        ExperimentError: with fewer than 2 points or degenerate x spread.
+    """
+    if len(points) < 2:
+        raise ExperimentError(f"need at least 2 points for a fit, got {len(points)}")
+    xs = np.asarray([p[0] for p in points], dtype=float)
+    ys = np.asarray([p[1] for p in points], dtype=float)
+    if np.ptp(xs) <= 0:
+        raise ExperimentError("all x values identical; cannot fit a trend")
+    slope, intercept = np.polyfit(xs, ys, 1)
+    residuals = ys - (slope * xs + intercept)
+    total = ys - ys.mean()
+    denominator = float(np.dot(total, total))
+    r_squared = 1.0 - float(np.dot(residuals, residuals)) / denominator if denominator > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def sensitivity_ranking(
+    curves: dict[str, Sequence[Tuple[float, float]]]
+) -> List[Tuple[str, float]]:
+    """Applications ranked by degradation-trend slope, steepest first.
+
+    This is Fig. 7's qualitative content: FFTW/VPFFT steep, MILC moderate,
+    Lulesh shallow, MCB/AMG flat.
+    """
+    slopes = [
+        (name, fit_degradation_trend(points).slope) for name, points in curves.items()
+    ]
+    return sorted(slopes, key=lambda pair: pair[1], reverse=True)

@@ -1,0 +1,62 @@
+"""Full-report assembly: every artifact from one pipeline, as text.
+
+Used by ``repro report`` and handy for notebooks/CI logs: one call renders
+Table I, the Fig. 6 catalog, Fig. 7 trends, and the Fig. 9 model summary
+from a (cached) pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from .degradation import fit_degradation_trend, sensitivity_ranking
+from .errors import fraction_within, summarize_errors
+from .tables import render_fig6, render_fig9, render_table1
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.experiments import ReproductionPipeline
+
+__all__ = ["full_report", "degradation_curves"]
+
+
+def degradation_curves(pipeline: "ReproductionPipeline") -> Dict[str, List[Tuple[float, float]]]:
+    """Per-app (utilization, % degradation) points over the catalog."""
+    signatures = {
+        obs.label: obs.utilization for obs in pipeline.compression_signatures()
+    }
+    table = pipeline.degradation_table()
+    return {
+        name: [(signatures[label], value) for label, value in table[name].items()]
+        for name in pipeline.app_names
+    }
+
+
+def full_report(pipeline: "ReproductionPipeline") -> str:
+    """Render the complete evaluation summary from pipeline products."""
+    sections: List[str] = []
+
+    sections.append(render_table1(pipeline.app_names, pipeline.measured_pairs()))
+
+    utilizations = {
+        obs.label: obs.utilization for obs in pipeline.compression_signatures()
+    }
+    sections.append(render_fig6(utilizations))
+
+    curves = degradation_curves(pipeline)
+    trend_lines = ["Fig. 7 — sensitivity ranking (linear-trend slopes)"]
+    for name, slope in sensitivity_ranking(curves):
+        fit = fit_degradation_trend(curves[name])
+        trend_lines.append(f"  {name:8s} slope={slope:8.1f}  r²={fit.r_squared:.2f}")
+    sections.append("\n".join(trend_lines))
+
+    errors = pipeline.prediction_errors()
+    summaries = {
+        model: summarize_errors(list(table.values())) for model, table in errors.items()
+    }
+    fig9 = [render_fig9(summaries), ""]
+    for model, table in errors.items():
+        share = fraction_within(list(table.values()), 10.0)
+        fig9.append(f"{model:16s} fraction of errors <= 10%: {share * 100:.0f}%")
+    sections.append("\n".join(fig9))
+
+    return "\n\n".join(sections)

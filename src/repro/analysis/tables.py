@@ -1,0 +1,135 @@
+"""ASCII renderers for the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers format them for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .errors import ErrorSummary
+
+__all__ = [
+    "render_matrix",
+    "render_table1",
+    "render_fig6",
+    "render_fig7_series",
+    "render_fig8",
+    "render_fig9",
+    "render_histogram",
+]
+
+
+def render_matrix(
+    row_names: Sequence[str],
+    col_names: Sequence[str],
+    values: Mapping[Tuple[str, str], float],
+    title: str = "",
+    fmt: str = "{:6.1f}",
+) -> str:
+    """A labelled numeric matrix (rows × columns)."""
+    width = max(max((len(n) for n in col_names), default=6), 6) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * 8 + "".join(f"{name:>{width}}" for name in col_names)
+    lines.append(header)
+    for row in row_names:
+        cells = []
+        for col in col_names:
+            value = values.get((row, col))
+            cells.append(
+                " " * (width - 6) + fmt.format(value) if value is not None else " " * (width - 1) + "-"
+            )
+        lines.append(f"{row:8s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_table1(
+    app_names: Sequence[str], slowdowns: Mapping[Tuple[str, str], float]
+) -> str:
+    """Table I: measured % slowdowns; rows = measured app, cols = co-runner."""
+    return render_matrix(
+        app_names,
+        app_names,
+        slowdowns,
+        title="Table I — measured % slowdowns (row app co-run with column app)",
+    )
+
+
+def render_fig6(utilizations: Mapping[str, float]) -> str:
+    """Fig. 6: switch utilization per CompressionB config, sorted ascending."""
+    lines = ["Fig. 6 — switch utilization of CompressionB configurations"]
+    for label, utilization in sorted(utilizations.items(), key=lambda kv: kv[1]):
+        bar = "#" * int(round(utilization * 40))
+        lines.append(f"{label:20s} {utilization * 100:5.1f}% {bar}")
+    return "\n".join(lines)
+
+
+def render_fig7_series(
+    curves: Mapping[str, Sequence[Tuple[float, float]]]
+) -> str:
+    """Fig. 7: per-app (utilization%, degradation%) series."""
+    lines = ["Fig. 7 — % degradation vs % switch utilization"]
+    for name, points in curves.items():
+        ordered = sorted(points)
+        series = "  ".join(f"({x * 100:.0f}%, {y:+.1f}%)" for x, y in ordered)
+        lines.append(f"{name:8s} {series}")
+    return "\n".join(lines)
+
+
+def render_fig8(
+    errors: Mapping[str, Mapping[Tuple[str, str], float]],
+    app_names: Sequence[str],
+) -> str:
+    """Fig. 8: |measured − predicted| per pairing per model."""
+    models = list(errors)
+    if not models:
+        raise ExperimentError("no model errors to render")
+    lines = ["Fig. 8 — |measured - predicted| % per pairing"]
+    header = f"{'pairing':20s}" + "".join(f"{m:>16s}" for m in models)
+    lines.append(header)
+    for app in app_names:
+        for other in app_names:
+            cells = "".join(f"{errors[m][(app, other)]:16.1f}" for m in models)
+            lines.append(f"{app + ' | ' + other:20s}" + cells)
+    return "\n".join(lines)
+
+
+def render_fig9(summaries: Mapping[str, ErrorSummary]) -> str:
+    """Fig. 9: quartile summary of each model's errors."""
+    lines = [
+        "Fig. 9 — prediction-error quartiles per model",
+        f"{'model':16s}{'min':>8s}{'q1':>8s}{'median':>8s}{'q3':>8s}{'max':>8s}{'mean':>8s}",
+    ]
+    for model, summary in summaries.items():
+        lines.append(
+            f"{model:16s}{summary.minimum:8.1f}{summary.q1:8.1f}{summary.median:8.1f}"
+            f"{summary.q3:8.1f}{summary.maximum:8.1f}{summary.mean:8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_histogram(
+    fractions: Sequence[float],
+    edges: Sequence[float],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """A horizontal-bar latency histogram (Fig. 3 style)."""
+    fractions = np.asarray(fractions, dtype=float)
+    edges = np.asarray(edges, dtype=float)
+    if len(edges) != len(fractions) + 1:
+        raise ExperimentError("edges must be one longer than fractions")
+    peak = fractions.max() if fractions.size and fractions.max() > 0 else 1.0
+    lines = [title] if title else []
+    for index, fraction in enumerate(fractions):
+        low = edges[index] * 1e6
+        high = edges[index + 1] * 1e6
+        bar = "#" * int(round(width * fraction / peak))
+        lines.append(f"{low:5.1f}-{high:5.1f}µs {fraction * 100:5.1f}% {bar}")
+    return "\n".join(lines)

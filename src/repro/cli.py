@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Examples::
+
+    repro calibrate
+    repro impact fftw
+    repro fig6 --profile quick
+    repro table1 --cache results/paper_cache.json
+    repro predict fftw milc --cache results/paper_cache.json
+    repro report --cache results/paper_cache.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import (
+    render_fig6,
+    render_fig7_series,
+    render_fig8,
+    render_fig9,
+    render_histogram,
+    render_table1,
+    summarize_errors,
+)
+from .core.experiments import PipelineSettings, ReproductionPipeline
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    # Shared options work both before and after the subcommand
+    # (``repro --cache X table1`` and ``repro table1 --cache X``).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--profile",
+        choices=("paper", "quick"),
+        default="paper",
+        help="CompressionB catalog size (paper=40 configs, quick=10)",
+    )
+    common.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    common.add_argument(
+        "--cache",
+        default="results/paper_cache.json",
+        help="JSON cache of experiment results (created as needed)",
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Casas & Bronevetsky (IPPS 2014) artifacts.",
+        parents=[common],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def command(name, help_text):
+        return sub.add_parser(name, help=help_text, parents=[common])
+
+    command("calibrate", "idle-switch service estimate (µ, Var(S))")
+
+    impact = command("impact", "probe one application's signature")
+    impact.add_argument("app", help="application name (fftw, lulesh, mcb, milc, vpfft, amg)")
+
+    command("fig3", "probe latency distributions (idle + all apps)")
+    command("fig6", "CompressionB switch-utilization catalog")
+    command("fig7", "per-app degradation vs utilization curves")
+    command("table1", "measured pairwise slowdowns")
+    command("fig8", "per-pairing prediction errors of all models")
+    command("fig9", "quartile error summary per model")
+    command("report", "everything: table1 + fig6-9 summaries")
+
+    predict = command("predict", "predict one pairing with all models")
+    predict.add_argument("app", help="the application whose slowdown is predicted")
+    predict.add_argument("other", help="its co-runner")
+
+    profile = command("profile", "trace one application's compute/wait/sleep breakdown")
+    profile.add_argument("app", help="application name")
+
+    whatif = command(
+        "whatif", "run one application on progressively weaker networks"
+    )
+    whatif.add_argument("app", help="application name")
+    whatif.add_argument(
+        "--factors",
+        type=float,
+        nargs="+",
+        default=[1.0, 2.0, 4.0],
+        help="network slowdown factors (first is the baseline)",
+    )
+
+    return parser
+
+
+def _pipeline(args: argparse.Namespace) -> ReproductionPipeline:
+    return ReproductionPipeline(
+        settings=PipelineSettings(profile=args.profile, seed=args.seed),
+        cache_path=args.cache,
+        verbose=True,
+    )
+
+
+def _fig3(pipeline: ReproductionPipeline) -> str:
+    chunks = []
+    idle = pipeline.idle_signature()
+    chunks.append(
+        render_histogram(
+            idle.histogram.fractions, idle.histogram.edges, title="No App"
+        )
+    )
+    for name in pipeline.app_names:
+        signature = pipeline.app_impact(name).signature
+        chunks.append(
+            render_histogram(
+                signature.histogram.fractions,
+                signature.histogram.edges,
+                title=f"{name} (mean {signature.mean * 1e6:.2f}µs)",
+            )
+        )
+    return "\n\n".join(chunks)
+
+
+def _fig6(pipeline: ReproductionPipeline) -> str:
+    utilizations = {
+        obs.label: obs.utilization for obs in pipeline.compression_signatures()
+    }
+    return render_fig6(utilizations)
+
+
+def _fig7(pipeline: ReproductionPipeline) -> str:
+    curves = {}
+    signatures = {obs.label: obs for obs in pipeline.compression_signatures()}
+    for name in pipeline.app_names:
+        curves[name] = [
+            (signatures[label].utilization, degradation)
+            for label, degradation in pipeline.degradation_table()[name].items()
+        ]
+    return render_fig7_series(curves)
+
+
+def _table1(pipeline: ReproductionPipeline) -> str:
+    return render_table1(pipeline.app_names, pipeline.measured_pairs())
+
+
+def _fig8(pipeline: ReproductionPipeline) -> str:
+    return render_fig8(pipeline.prediction_errors(), pipeline.app_names)
+
+
+def _fig9(pipeline: ReproductionPipeline) -> str:
+    summaries = {
+        model: summarize_errors(list(table.values()))
+        for model, table in pipeline.prediction_errors().items()
+    }
+    return render_fig9(summaries)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    pipeline = _pipeline(args)
+
+    if args.command == "calibrate":
+        estimate = pipeline.calibration()
+        print(
+            f"idle service estimate: mean={estimate.mean * 1e6:.3f}µs "
+            f"(µ={estimate.rate:.3e}/s) var={estimate.variance:.3e}s² "
+            f"scv={estimate.scv:.2f} n={estimate.sample_count}"
+        )
+    elif args.command == "impact":
+        result = pipeline.app_impact(args.app)
+        signature = result.signature
+        print(
+            f"{args.app}: probe mean={signature.mean * 1e6:.2f}µs "
+            f"std={signature.std * 1e6:.2f}µs "
+            f"utilization(P-K)={signature.utilization * 100:.1f}% "
+            f"true={result.true_utilization * 100:.1f}%"
+        )
+    elif args.command == "fig3":
+        print(_fig3(pipeline))
+    elif args.command == "fig6":
+        print(_fig6(pipeline))
+    elif args.command == "fig7":
+        print(_fig7(pipeline))
+    elif args.command == "table1":
+        print(_table1(pipeline))
+    elif args.command == "fig8":
+        print(_fig8(pipeline))
+    elif args.command == "fig9":
+        print(_fig9(pipeline))
+    elif args.command == "report":
+        from .analysis import full_report
+
+        print(full_report(pipeline))
+    elif args.command == "predict":
+        engine = pipeline.engine()
+        measured = pipeline.pair_slowdown(args.app, args.other)
+        print(f"measured: {measured:.1f}%")
+        for prediction in engine.predict_pair(args.app, args.other):
+            print(f"{prediction.model:16s} predicted {prediction.predicted:6.1f}%")
+    elif args.command == "profile":
+        from .core.experiments.catalog import paper_applications
+        from .trace import profile_workload, render_profile
+
+        apps = paper_applications()
+        if args.app not in apps:
+            print(f"unknown application {args.app!r}; choose from {sorted(apps)}")
+            return 1
+        profile = profile_workload(pipeline.machine_config, apps[args.app])
+        print(render_profile(profile))
+    elif args.command == "whatif":
+        from .core.experiments import network_scaling_study
+        from .core.experiments.catalog import paper_applications
+
+        apps = paper_applications()
+        if args.app not in apps:
+            print(f"unknown application {args.app!r}; choose from {sorted(apps)}")
+            return 1
+        points = network_scaling_study(
+            pipeline.machine_config, apps[args.app], factors=args.factors
+        )
+        print(f"{args.app} on progressively weaker networks:")
+        for point in points:
+            print(
+                f"  {point.factor:5.1f}x slower network: "
+                f"{point.elapsed * 1e3:8.2f}ms  ({point.slowdown_percent:+.1f}%)"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    sys.exit(main())

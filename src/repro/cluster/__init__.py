@@ -1,0 +1,25 @@
+"""Cluster substrate: nodes, cores, placement, and the Machine container."""
+
+from .machine import Machine
+from .node import Core, Node
+from .placement import (
+    BlockPlacement,
+    ExplicitPlacement,
+    PerSocketPlacement,
+    Placement,
+    RoundRobinPlacement,
+)
+from .specs import cab_config, small_test_config
+
+__all__ = [
+    "Machine",
+    "Node",
+    "Core",
+    "Placement",
+    "PerSocketPlacement",
+    "BlockPlacement",
+    "RoundRobinPlacement",
+    "ExplicitPlacement",
+    "cab_config",
+    "small_test_config",
+]

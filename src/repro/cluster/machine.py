@@ -1,0 +1,68 @@
+"""The simulated machine: kernel + nodes + interconnect in one container."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..config import MachineConfig
+from ..errors import ConfigurationError
+from ..network import InterconnectNetwork, SingleSwitchTopology, Topology
+from ..sim import RandomStreams, Simulator
+from .node import Core, Node
+from .placement import Placement
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A complete simulated cluster.
+
+    Owns the simulation kernel, the random streams, the nodes, and the
+    interconnect; workloads are launched on it through
+    :class:`repro.mpi.MPIWorld`.
+
+    Args:
+        config: full machine description (defaults are Cab-like).
+        topology: override the interconnect layout (default: single switch,
+            the paper's configuration).
+    """
+
+    def __init__(self, config: MachineConfig, topology: Topology | None = None) -> None:
+        if topology is None:
+            topology = SingleSwitchTopology(config.node_count)
+        if topology.node_count != config.node_count:
+            raise ConfigurationError(
+                f"topology has {topology.node_count} nodes, config says {config.node_count}"
+            )
+        self.config = config
+        self.sim = Simulator()
+        self.streams = RandomStreams(config.seed)
+        self.nodes: List[Node] = [Node(i, config.node) for i in range(config.node_count)]
+        self.network = InterconnectNetwork(self.sim, topology, config.network, self.streams)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def allocate(self, placement: Placement, label: str) -> List[Core]:
+        """Reserve cores for a job, enforcing exclusive occupancy."""
+        cores = placement.select(self.nodes)
+        for core in cores:
+            self.nodes[core.node_id].allocate(core, label)
+        return cores
+
+    def release(self, cores: Sequence[Core]) -> None:
+        """Free a job's cores."""
+        for core in cores:
+            self.nodes[core.node_id].release(core)
+
+    def free_core_count(self) -> int:
+        """Total free cores across the machine."""
+        return sum(len(node.free_cores) for node in self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Machine {self.node_count} nodes x {self.config.node.cores} cores, "
+            f"t={self.sim.now:.6f}s>"
+        )

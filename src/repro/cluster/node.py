@@ -1,0 +1,93 @@
+"""Compute-node model: sockets and cores as placement slots.
+
+Cores do not execute anything themselves (compute phases are simulated as
+time advances); they exist so placement policies can reproduce the paper's
+careful process-to-core assignments — e.g. "2 ImpactB processes per node,
+one on each socket" — and so oversubscription is caught as an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import NodeConfig
+from ..errors import ConfigurationError
+
+__all__ = ["Core", "Node"]
+
+
+@dataclass(frozen=True)
+class Core:
+    """One placement slot: (node, socket, index within socket)."""
+
+    node_id: int
+    socket: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"n{self.node_id}s{self.socket}c{self.index}"
+
+
+class Node:
+    """A compute node: a grid of cores with occupancy tracking."""
+
+    def __init__(self, node_id: int, config: NodeConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self._cores: List[Core] = [
+            Core(node_id, socket, index)
+            for socket in range(config.sockets)
+            for index in range(config.cores_per_socket)
+        ]
+        self._occupant: dict[Core, str] = {}
+
+    @property
+    def cores(self) -> List[Core]:
+        """All cores in (socket-major) order."""
+        return list(self._cores)
+
+    @property
+    def free_cores(self) -> List[Core]:
+        """Cores not currently allocated."""
+        return [core for core in self._cores if core not in self._occupant]
+
+    def free_cores_on_socket(self, socket: int) -> List[Core]:
+        """Free cores on one socket, in index order."""
+        if not 0 <= socket < self.config.sockets:
+            raise ConfigurationError(
+                f"socket {socket} out of range [0, {self.config.sockets})"
+            )
+        return [
+            core
+            for core in self._cores
+            if core.socket == socket and core not in self._occupant
+        ]
+
+    def occupant(self, core: Core) -> Optional[str]:
+        """The job label holding ``core``, or None."""
+        return self._occupant.get(core)
+
+    def allocate(self, core: Core, label: str) -> None:
+        """Mark ``core`` as used by job ``label``.
+
+        Raises:
+            ConfigurationError: if the core is already occupied (the paper's
+                experiments never share cores between workloads).
+        """
+        holder = self._occupant.get(core)
+        if holder is not None:
+            raise ConfigurationError(
+                f"core {core} already occupied by {holder!r} (wanted by {label!r})"
+            )
+        self._occupant[core] = label
+
+    def release(self, core: Core) -> None:
+        """Free a previously allocated core."""
+        if core not in self._occupant:
+            raise ConfigurationError(f"core {core} is not allocated")
+        del self._occupant[core]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        used = len(self._occupant)
+        return f"<Node {self.node_id}: {used}/{len(self._cores)} cores used>"

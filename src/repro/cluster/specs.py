@@ -1,0 +1,51 @@
+"""Named machine specifications.
+
+:func:`cab_config` mirrors the paper's experimental platform (§II): 18 dual
+socket nodes (two 8-core 2.6 GHz Xeon E5-2670) per QLogic 12300 leaf switch,
+~1 µs network latency, 5 GB/s links.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig, NetworkConfig, NodeConfig
+from ..network.service_time import default_fabric_service, default_port_overhead
+from ..units import GB, GHZ, KB, US
+
+__all__ = ["cab_config", "small_test_config"]
+
+
+def cab_config(seed: int = 0, node_count: int = 18) -> MachineConfig:
+    """The Cab bottom-level-switch configuration used throughout the paper."""
+    return MachineConfig(
+        node_count=node_count,
+        node=NodeConfig(sockets=2, cores_per_socket=8, clock_hz=2.6 * GHZ),
+        network=NetworkConfig(
+            link_bandwidth=5.0 * GB,
+            link_latency=0.1 * US,
+            egress_latency=0.25 * US,
+            mtu=8 * KB,
+            nic_overhead=0.15 * US,
+            switch_mode="output_queued",
+            port_overhead=default_port_overhead(),
+            fabric_service=default_fabric_service(),
+        ),
+        seed=seed,
+    )
+
+
+def small_test_config(seed: int = 0, node_count: int = 4) -> MachineConfig:
+    """A small, fast configuration for unit tests (2 sockets × 2 cores)."""
+    return MachineConfig(
+        node_count=node_count,
+        node=NodeConfig(sockets=2, cores_per_socket=2, clock_hz=2.6 * GHZ),
+        network=NetworkConfig(
+            link_bandwidth=5.0 * GB,
+            link_latency=0.1 * US,
+            egress_latency=0.25 * US,
+            mtu=8 * KB,
+            nic_overhead=0.15 * US,
+            switch_mode="output_queued",
+            port_overhead=default_port_overhead(),
+        ),
+        seed=seed,
+    )

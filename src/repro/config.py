@@ -1,0 +1,146 @@
+"""Configuration dataclasses for machines, networks, and experiment scaling.
+
+A :class:`MachineConfig` fully determines a simulated cluster; the default
+values mirror LLNL's Cab as described in the paper's §II (18 dual-socket
+8-core/socket 2.6 GHz nodes on one QLogic 12300 leaf switch, ~1 µs latency,
+5 GB/s links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigurationError
+from .network.service_time import (
+    ServiceTimeModel,
+    default_fabric_service,
+    default_port_overhead,
+)
+from .units import GB, GHZ, KB, US
+
+__all__ = ["NetworkConfig", "NodeConfig", "MachineConfig", "Scale"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Interconnect parameters.
+
+    Attributes:
+        link_bandwidth: node uplink rate in bytes/s (Cab: ~5 GB/s).
+        link_latency: one-way wire propagation in seconds.
+        egress_latency: switch-to-destination fixed delay in seconds.
+        mtu: maximum packet payload in bytes ("few KB" per the paper).
+        nic_overhead: fixed per-packet injection overhead in seconds.
+        switch_mode: ``"output_queued"`` (default: per-output-port queues,
+            the experimental substrate) or ``"central"`` (one shared queue,
+            the paper's literal M/G/1 abstraction, used in ablations).
+        port_overhead: per-packet routing-overhead distribution for
+            output-queued switches.
+        fabric_service: service-time distribution for central-mode switches.
+        fabric_servers: parallel servers in central mode (1 = M/G/1 view).
+    """
+
+    link_bandwidth: float = 5.0 * GB
+    link_latency: float = 0.1 * US
+    egress_latency: float = 0.25 * US
+    mtu: int = 8 * KB
+    nic_overhead: float = 0.15 * US
+    switch_mode: str = "output_queued"
+    port_overhead: ServiceTimeModel = field(default_factory=default_port_overhead)
+    fabric_service: ServiceTimeModel = field(default_factory=default_fabric_service)
+    fabric_servers: int = 1
+    local_bandwidth: float = 12.0 * GB
+    local_latency: float = 0.4 * US
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0 or self.local_bandwidth <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if min(self.link_latency, self.egress_latency, self.nic_overhead, self.local_latency) < 0:
+            raise ConfigurationError("latencies and overheads must be non-negative")
+        if self.mtu <= 0:
+            raise ConfigurationError(f"mtu must be positive, got {self.mtu}")
+        if self.switch_mode not in ("output_queued", "central"):
+            raise ConfigurationError(
+                f"switch_mode must be 'output_queued' or 'central', got {self.switch_mode!r}"
+            )
+        if self.fabric_servers < 1:
+            raise ConfigurationError(f"fabric_servers must be >= 1, got {self.fabric_servers}")
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Compute-node parameters (Cab: 2 sockets × 8 cores at 2.6 GHz)."""
+
+    sockets: int = 2
+    cores_per_socket: int = 8
+    clock_hz: float = 2.6 * GHZ
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ConfigurationError("nodes need at least one socket and one core")
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock_hz must be positive, got {self.clock_hz}")
+
+    @property
+    def cores(self) -> int:
+        """Total cores per node."""
+        return self.sockets * self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A whole cluster: nodes + interconnect + root RNG seed."""
+
+    node_count: int = 18
+    node: NodeConfig = field(default_factory=NodeConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigurationError(f"node_count must be >= 1, got {self.node_count}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.node_count * self.node.cores
+
+    def with_seed(self, seed: int) -> "MachineConfig":
+        """A copy of this config with a different RNG seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Maps paper-scale durations to tractable simulated durations.
+
+    The paper's runs last minutes of wall time with 100 ms probe sleeps; a
+    pure-Python DES cannot afford that, and does not need to: every reported
+    quantity is a ratio (slowdown %, utilization %) or a distribution, all of
+    which are invariant when every period shrinks by the same factor.
+
+    Attributes:
+        time_factor: multiplier applied to sleep/period parameters
+            (e.g. 0.01 turns the paper's 100 ms probe gap into 1 ms).
+        work_factor: multiplier applied to application iteration counts.
+    """
+
+    time_factor: float = 0.01
+    work_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time_factor <= 0 or self.work_factor <= 0:
+            raise ConfigurationError("scale factors must be positive")
+
+    def period(self, paper_seconds: float) -> float:
+        """Scale a paper-reported period/sleep down to simulated seconds."""
+        if paper_seconds < 0:
+            raise ConfigurationError(f"period must be non-negative, got {paper_seconds}")
+        return paper_seconds * self.time_factor
+
+    def iterations(self, paper_iterations: int) -> int:
+        """Scale an iteration count (at least 1)."""
+        if paper_iterations < 1:
+            raise ConfigurationError(
+                f"paper_iterations must be >= 1, got {paper_iterations}"
+            )
+        return max(1, round(paper_iterations * self.work_factor))

@@ -1,0 +1,49 @@
+"""Experiment layer: calibration, impact, compression, co-run, pipeline."""
+
+from .calibration import calibrate
+from .catalog import (
+    APP_NAMES,
+    PAPER_MESSAGES,
+    PAPER_PARTNERS,
+    PAPER_SLEEP_CYCLES,
+    paper_applications,
+    paper_compression_catalog,
+    quick_compression_catalog,
+)
+from .compression import CompressionExperiment, CompressionObservation, percent_slowdown
+from .corun import CoRunExperiment
+from .future import (
+    ScalingPoint,
+    equivalent_utilization,
+    network_scaling_study,
+    scaled_network,
+)
+from .impact import ImpactExperiment, ImpactResult
+from .pipeline import PipelineSettings, ReproductionPipeline
+from .runner import JobSpec, RunResult, execute
+
+__all__ = [
+    "calibrate",
+    "ImpactExperiment",
+    "ImpactResult",
+    "CompressionExperiment",
+    "CompressionObservation",
+    "percent_slowdown",
+    "CoRunExperiment",
+    "ScalingPoint",
+    "network_scaling_study",
+    "equivalent_utilization",
+    "scaled_network",
+    "JobSpec",
+    "RunResult",
+    "execute",
+    "PipelineSettings",
+    "ReproductionPipeline",
+    "paper_applications",
+    "paper_compression_catalog",
+    "quick_compression_catalog",
+    "APP_NAMES",
+    "PAPER_PARTNERS",
+    "PAPER_SLEEP_CYCLES",
+    "PAPER_MESSAGES",
+]

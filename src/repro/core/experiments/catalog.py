@@ -1,0 +1,64 @@
+"""The paper's experiment catalog: 40 CompressionB configs + 6 applications.
+
+§IV-C: "Parameter P, the number of partner processes, takes values 1, 4, 7,
+14 and 17.  Parameter B, the number of cycles the benchmark sleeps, has
+values 2.5E4, 2.5E5, 2.5E6, 2.5E7.  Finally, parameter M, the number of
+messages sent in each round of communication, is either 1 or 10.  As such,
+we consider 40 different input configurations."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...workloads import AMG, FFTW, Lulesh, MCB, MILC, VPFFT, CompressionConfig, Workload
+
+__all__ = [
+    "PAPER_PARTNERS",
+    "PAPER_SLEEP_CYCLES",
+    "PAPER_MESSAGES",
+    "paper_compression_catalog",
+    "quick_compression_catalog",
+    "paper_applications",
+    "APP_NAMES",
+]
+
+PAPER_PARTNERS = (1, 4, 7, 14, 17)
+PAPER_SLEEP_CYCLES = (2.5e4, 2.5e5, 2.5e6, 2.5e7)
+PAPER_MESSAGES = (1, 10)
+
+#: Application display order used throughout the paper's tables/figures.
+APP_NAMES = ("fftw", "lulesh", "mcb", "milc", "vpfft", "amg")
+
+
+def paper_compression_catalog() -> List[CompressionConfig]:
+    """All 40 (P, M, B) configurations from §IV-C."""
+    return [
+        CompressionConfig(partners=p, messages=m, sleep_cycles=b)
+        for b in PAPER_SLEEP_CYCLES
+        for m in PAPER_MESSAGES
+        for p in PAPER_PARTNERS
+    ]
+
+
+def quick_compression_catalog() -> List[CompressionConfig]:
+    """A 10-config subset spanning the utilization range, for fast runs."""
+    picks = [
+        (1, 1, 2.5e7),
+        (17, 10, 2.5e7),
+        (4, 1, 2.5e6),
+        (17, 1, 2.5e6),
+        (7, 10, 2.5e6),
+        (1, 1, 2.5e5),
+        (7, 1, 2.5e5),
+        (17, 1, 2.5e5),
+        (4, 10, 2.5e5),
+        (4, 1, 2.5e4),
+    ]
+    return [CompressionConfig(p, m, b) for (p, m, b) in picks]
+
+
+def paper_applications() -> Dict[str, Workload]:
+    """The six §II applications at their calibrated defaults, keyed by name."""
+    apps: List[Workload] = [FFTW(), Lulesh(), MCB(), MILC(), VPFFT(), AMG()]
+    return {app.name: app for app in apps}

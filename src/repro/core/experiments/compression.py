@@ -1,0 +1,125 @@
+"""Compression experiments (paper §III-B, §IV-C, §IV-D).
+
+Two measurement kinds:
+
+* :meth:`CompressionExperiment.signature_of` — run a CompressionB config
+  together with ImpactB (no application) to characterize how much switch
+  capability the config removes (Fig. 6's x-axis values).
+
+* :meth:`CompressionExperiment.degradation` — run an application against a
+  CompressionB config and report the percent slowdown relative to the app's
+  isolated baseline (Fig. 7's y-axis values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...config import MachineConfig
+from ...errors import ExperimentError
+from ...queueing import ServiceEstimate
+from ...units import MS
+from ...workloads import CompressionB, CompressionConfig, Workload
+from .impact import ImpactExperiment, ImpactResult
+from .runner import JobSpec, execute
+
+__all__ = ["CompressionObservation", "CompressionExperiment", "percent_slowdown"]
+
+
+def percent_slowdown(with_interference: float, baseline: float) -> float:
+    """The paper's degradation metric: 100·(T_int − T_base)/T_base."""
+    if baseline <= 0:
+        raise ExperimentError(f"baseline runtime must be positive, got {baseline}")
+    return 100.0 * (with_interference - baseline) / baseline
+
+
+@dataclass(frozen=True)
+class CompressionObservation:
+    """One CompressionB config's measured switch signature."""
+
+    config: CompressionConfig
+    impact: ImpactResult
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    @property
+    def utilization(self) -> float:
+        """The P–K utilization estimate for this config (Fig. 6 value)."""
+        return self.impact.signature.utilization
+
+    def to_dict(self) -> dict:
+        return {
+            "partners": self.config.partners,
+            "messages": self.config.messages,
+            "sleep_cycles": self.config.sleep_cycles,
+            "message_bytes": self.config.message_bytes,
+            "impact": self.impact.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompressionObservation":
+        return cls(
+            config=CompressionConfig(
+                partners=data["partners"],
+                messages=data["messages"],
+                sleep_cycles=data["sleep_cycles"],
+                message_bytes=data["message_bytes"],
+            ),
+            impact=ImpactResult.from_dict(data["impact"]),
+        )
+
+
+class CompressionExperiment:
+    """Runs CompressionB configurations alone and against applications."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        calibration: Optional[ServiceEstimate] = None,
+        probe_interval: float = 0.25 * MS,
+    ) -> None:
+        self.config = config
+        self.calibration = calibration
+        self.probe_interval = probe_interval
+
+    # ------------------------------------------------------------------
+    def signature_of(
+        self, comp_config: CompressionConfig, duration: float = 0.03
+    ) -> CompressionObservation:
+        """Measure a config's switch signature via CompressionB+ImpactB.
+
+        "we run it together with ImpactB just like any other software
+        component ImpactB may measure" (§IV-C).
+        """
+        experiment = ImpactExperiment(
+            self.config, self.calibration, probe_interval=self.probe_interval
+        )
+        impact = experiment.measure(CompressionB(comp_config), duration=duration)
+        return CompressionObservation(config=comp_config, impact=impact)
+
+    # ------------------------------------------------------------------
+    def baseline(self, app: Workload) -> float:
+        """The application's isolated runtime on this machine."""
+        result = execute(self.config, [JobSpec(app, app.name)])
+        return result.elapsed_of(app.name)
+
+    def degradation(
+        self,
+        app: Workload,
+        comp_config: CompressionConfig,
+        baseline: Optional[float] = None,
+    ) -> float:
+        """Percent slowdown of ``app`` when co-run with a CompressionB config."""
+        if baseline is None:
+            baseline = self.baseline(app)
+        result = execute(
+            self.config,
+            [
+                JobSpec(CompressionB(comp_config), "compressionb", daemon=True),
+                JobSpec(app, app.name),
+            ],
+        )
+        return percent_slowdown(result.elapsed_of(app.name), baseline)

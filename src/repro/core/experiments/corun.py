@@ -1,0 +1,58 @@
+"""Co-run experiments (paper §V): the ground truth the models must predict.
+
+Two applications share the switch; the measured one runs to completion while
+the other loops continuously (the paper runs "each benchmark in continuous
+loops"), and its slowdown relative to its isolated baseline is recorded.
+Every ordered pair of the six applications — including an app with itself —
+gives the paper's 36 measurements (Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...config import MachineConfig
+from ...workloads import Workload
+from .compression import percent_slowdown
+from .runner import JobSpec, execute
+
+__all__ = ["CoRunExperiment"]
+
+
+class CoRunExperiment:
+    """Measures pairwise application slowdowns."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self._baselines: Dict[str, float] = {}
+
+    def baseline(self, app: Workload) -> float:
+        """Isolated runtime (cached per app name)."""
+        if app.name not in self._baselines:
+            result = execute(self.config, [JobSpec(app, app.name)])
+            self._baselines[app.name] = result.elapsed_of(app.name)
+        return self._baselines[app.name]
+
+    def slowdown(self, measured: Workload, other: Workload) -> float:
+        """Percent slowdown of ``measured`` when co-running with ``other``.
+
+        ``other`` loops as a daemon so the switch stays loaded for the whole
+        of ``measured``'s run.  The two applications never share cores (the
+        machine's occupancy tracking enforces this); running an app against
+        itself uses two separate placements, the paper's capability-computing
+        use case.
+        """
+        if measured.name == other.name:
+            # Two copies of one app need distinct job labels for placement.
+            other_name = f"{other.name}#2"
+        else:
+            other_name = other.name
+        baseline = self.baseline(measured)
+        result = execute(
+            self.config,
+            [
+                JobSpec(other, other_name, daemon=True),
+                JobSpec(measured, measured.name),
+            ],
+        )
+        return percent_slowdown(result.elapsed_of(measured.name), baseline)

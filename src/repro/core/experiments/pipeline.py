@@ -1,0 +1,288 @@
+"""The full reproduction pipeline with persistent caching.
+
+Reproducing the paper end to end needs ~330 simulation runs:
+
+* 1 idle calibration,
+* 40 CompressionB+ImpactB signature runs (Fig. 6),
+* 6 application impact runs (Fig. 3),
+* 6 isolated baselines,
+* 240 application × CompressionB degradation runs (Fig. 7),
+* 36 application-pair co-runs (Table I, Figs. 8–9).
+
+Each product is memoized in memory and, when a cache path is given, in a
+JSON file — so the six benchmark suites share one set of simulation runs
+and re-running a report costs nothing.  Every run is deterministic in
+(settings, seed), so cached results are exact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...config import MachineConfig
+from ...core.measurement import ProbeSignature
+from ...errors import ExperimentError
+from ...queueing import ServiceEstimate
+from ...units import MS
+from ...workloads import CompressionConfig, Workload
+from ..models import PredictionEngine, default_models
+from .calibration import calibrate
+from .catalog import APP_NAMES, paper_applications, paper_compression_catalog, quick_compression_catalog
+from .compression import CompressionExperiment, CompressionObservation
+from .corun import CoRunExperiment
+from .impact import ImpactExperiment, ImpactResult
+
+__all__ = ["PipelineSettings", "ReproductionPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineSettings:
+    """Knobs of one reproduction campaign.
+
+    Attributes:
+        profile: ``"paper"`` (40 configs) or ``"quick"`` (10-config subset).
+        seed: root RNG seed for every machine built by the pipeline.
+        impact_duration: simulated seconds per impact measurement.
+        signature_duration: simulated seconds per CompressionB signature run.
+        calibration_duration: simulated seconds of idle probing.
+        probe_interval: mean probe gap (the paper's 100 ms, scaled ×1/400).
+    """
+
+    profile: str = "paper"
+    seed: int = 0
+    impact_duration: float = 0.03
+    signature_duration: float = 0.03
+    calibration_duration: float = 0.05
+    probe_interval: float = 0.25 * MS
+
+    def __post_init__(self) -> None:
+        if self.profile not in ("paper", "quick"):
+            raise ExperimentError(f"unknown profile {self.profile!r}")
+
+
+class ReproductionPipeline:
+    """Runs and caches every experiment the paper's evaluation needs.
+
+    Args:
+        settings: campaign knobs.
+        machine_config: override the Cab-like default machine.
+        cache_path: JSON file for persistent memoization (created on first
+            save; safe to commit — results are deterministic).
+        applications: override the application registry (tests use small
+            fast apps here).
+        catalog: override the CompressionB catalog.
+        verbose: print one line per executed (non-cached) experiment.
+    """
+
+    def __init__(
+        self,
+        settings: PipelineSettings = PipelineSettings(),
+        machine_config: Optional[MachineConfig] = None,
+        cache_path: Optional[str | Path] = None,
+        applications: Optional[Dict[str, Workload]] = None,
+        catalog: Optional[Sequence[CompressionConfig]] = None,
+        verbose: bool = False,
+    ) -> None:
+        from ...cluster import cab_config
+
+        self.settings = settings
+        self.machine_config = machine_config or cab_config(seed=settings.seed)
+        self.applications = applications if applications is not None else paper_applications()
+        if catalog is None:
+            catalog = (
+                paper_compression_catalog()
+                if settings.profile == "paper"
+                else quick_compression_catalog()
+            )
+        self.catalog: List[CompressionConfig] = list(catalog)
+        self.cache_path = Path(cache_path) if cache_path else None
+        self.verbose = verbose
+        self._cache: Dict[str, object] = {}
+        if self.cache_path and self.cache_path.exists():
+            self._cache = json.loads(self.cache_path.read_text())
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _memo(self, key: str, compute: Callable[[], object]) -> object:
+        if key in self._cache:
+            return self._cache[key]
+        start = time.time()
+        value = compute()
+        if self.verbose:
+            print(f"[pipeline] {key}: {time.time() - start:.1f}s", flush=True)
+        self._cache[key] = value
+        self._save()
+        return value
+
+    def _save(self) -> None:
+        if self.cache_path is None:
+            return
+        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.cache_path.parent, suffix=".tmp"
+        )
+        with os.fdopen(handle, "w") as stream:
+            json.dump(self._cache, stream)
+        os.replace(temp_name, self.cache_path)
+
+    @property
+    def app_names(self) -> List[str]:
+        """Application names in the paper's display order."""
+        ordered = [name for name in APP_NAMES if name in self.applications]
+        extras = sorted(set(self.applications) - set(ordered))
+        return ordered + extras
+
+    def _app(self, name: str) -> Workload:
+        try:
+            return self.applications[name]
+        except KeyError as exc:
+            raise ExperimentError(f"unknown application {name!r}") from exc
+
+    # ------------------------------------------------------------------
+    # Primitive products
+    # ------------------------------------------------------------------
+    def calibration(self) -> ServiceEstimate:
+        """Idle-switch service estimate (µ, Var(S))."""
+        data = self._memo(
+            "calibration",
+            lambda: calibrate(
+                self.machine_config,
+                duration=self.settings.calibration_duration,
+                probe_interval=self.settings.probe_interval,
+            ).to_dict(),
+        )
+        return ServiceEstimate.from_dict(data)  # type: ignore[arg-type]
+
+    def idle_signature(self) -> ProbeSignature:
+        """The idle switch's probe signature (Fig. 3's 'No App' series)."""
+        data = self._memo("impact/idle", lambda: self._impact(None).to_dict())
+        return ImpactResult.from_dict(data).signature  # type: ignore[arg-type]
+
+    def _impact(self, workload: Optional[Workload]) -> ImpactResult:
+        experiment = ImpactExperiment(
+            self.machine_config,
+            self.calibration(),
+            probe_interval=self.settings.probe_interval,
+        )
+        return experiment.measure(workload, duration=self.settings.impact_duration)
+
+    def app_impact(self, name: str) -> ImpactResult:
+        """Impact experiment on one application (probe signature + ρ)."""
+        data = self._memo(
+            f"impact/{name}", lambda: self._impact(self._app(name)).to_dict()
+        )
+        return ImpactResult.from_dict(data)  # type: ignore[arg-type]
+
+    def compression_signature(self, config: CompressionConfig) -> CompressionObservation:
+        """Signature of one CompressionB config (Fig. 6 point)."""
+
+        def compute() -> dict:
+            experiment = CompressionExperiment(
+                self.machine_config,
+                self.calibration(),
+                probe_interval=self.settings.probe_interval,
+            )
+            return experiment.signature_of(
+                config, duration=self.settings.signature_duration
+            ).to_dict()
+
+        data = self._memo(f"comp_sig/{config.label}", compute)
+        return CompressionObservation.from_dict(data)  # type: ignore[arg-type]
+
+    def compression_signatures(self) -> List[CompressionObservation]:
+        """All catalog configs' signatures."""
+        return [self.compression_signature(config) for config in self.catalog]
+
+    def app_baseline(self, name: str) -> float:
+        """Isolated runtime of one application."""
+        def compute() -> float:
+            experiment = CompressionExperiment(self.machine_config)
+            return experiment.baseline(self._app(name))
+
+        return float(self._memo(f"baseline/{name}", compute))  # type: ignore[arg-type]
+
+    def app_degradation(self, name: str, config: CompressionConfig) -> float:
+        """% degradation of one app under one CompressionB config (Fig. 7 point)."""
+
+        def compute() -> float:
+            experiment = CompressionExperiment(self.machine_config)
+            return experiment.degradation(
+                self._app(name), config, baseline=self.app_baseline(name)
+            )
+
+        return float(self._memo(f"degradation/{name}/{config.label}", compute))  # type: ignore[arg-type]
+
+    def degradation_table(self) -> Dict[str, Dict[str, float]]:
+        """Per-app, per-config % degradations for the whole catalog."""
+        return {
+            name: {
+                config.label: self.app_degradation(name, config)
+                for config in self.catalog
+            }
+            for name in self.app_names
+        }
+
+    def pair_slowdown(self, measured: str, other: str) -> float:
+        """Measured % slowdown of ``measured`` co-running with ``other``."""
+
+        def compute() -> float:
+            experiment = CoRunExperiment(self.machine_config)
+            experiment._baselines[measured] = self.app_baseline(measured)
+            return experiment.slowdown(self._app(measured), self._app(other))
+
+        return float(self._memo(f"pair/{measured}/{other}", compute))  # type: ignore[arg-type]
+
+    def measured_pairs(self) -> Dict[Tuple[str, str], float]:
+        """All ordered pairs' measured slowdowns (Table I)."""
+        return {
+            (measured, other): self.pair_slowdown(measured, other)
+            for measured in self.app_names
+            for other in self.app_names
+        }
+
+    # ------------------------------------------------------------------
+    # Model products
+    # ------------------------------------------------------------------
+    def engine(self) -> PredictionEngine:
+        """A prediction engine fitted on this pipeline's products."""
+        signatures = {
+            name: self.app_impact(name).signature for name in self.app_names
+        }
+        return PredictionEngine(
+            observations=self.compression_signatures(),
+            degradations=self.degradation_table(),
+            signatures=signatures,
+            models=default_models(),
+        )
+
+    def prediction_errors(self) -> Dict[str, Dict[Tuple[str, str], float]]:
+        """|measured − predicted| per model per ordered pair (Fig. 8)."""
+        engine = self.engine()
+        measured = self.measured_pairs()
+        errors: Dict[str, Dict[Tuple[str, str], float]] = {
+            name: {} for name in engine.model_names
+        }
+        for (app, other), real in measured.items():
+            for model in engine.model_names:
+                predicted = engine.predict(app, other, model)
+                errors[model][(app, other)] = abs(real - predicted)
+        return errors
+
+    # ------------------------------------------------------------------
+    def ensure_all(self) -> None:
+        """Run (or load) every product of the full evaluation."""
+        self.calibration()
+        self.idle_signature()
+        for name in self.app_names:
+            self.app_impact(name)
+            self.app_baseline(name)
+        self.compression_signatures()
+        self.degradation_table()
+        self.measured_pairs()

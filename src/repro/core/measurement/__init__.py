@@ -1,0 +1,12 @@
+"""Measurement products: latency collection, histograms, probe signatures."""
+
+from .histogram import LatencyHistogram, paper_bin_edges
+from .latency import LatencyCollector
+from .summary import ProbeSignature
+
+__all__ = [
+    "LatencyCollector",
+    "LatencyHistogram",
+    "paper_bin_edges",
+    "ProbeSignature",
+]

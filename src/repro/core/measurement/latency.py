@@ -1,0 +1,69 @@
+"""Probe-latency sample collection.
+
+ImpactB initiator ranks record one latency sample per ping-pong exchange
+(half the round-trip, per the paper).  A :class:`LatencyCollector` is shared
+by all probe ranks of one experiment and supports windowing so warm-up
+samples can be excluded.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ...errors import ExperimentError
+
+__all__ = ["LatencyCollector"]
+
+
+class LatencyCollector:
+    """Accumulates (time, latency, rank) probe samples."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self._ranks: List[int] = []
+
+    def record(self, time: float, latency: float, rank: int) -> None:
+        """Record one probe observation.
+
+        Raises:
+            ExperimentError: on non-positive latency (a timing bug upstream).
+        """
+        if latency <= 0:
+            raise ExperimentError(f"non-positive probe latency {latency!r} at t={time}")
+        self._times.append(time)
+        self._values.append(latency)
+        self._ranks.append(rank)
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def values(self) -> np.ndarray:
+        """All latency samples, in record order."""
+        return np.asarray(self._values, dtype=float)
+
+    def times(self) -> np.ndarray:
+        """Sample timestamps, in record order."""
+        return np.asarray(self._times, dtype=float)
+
+    def ranks(self) -> np.ndarray:
+        """Recording ranks, in record order."""
+        return np.asarray(self._ranks, dtype=int)
+
+    def values_after(self, start_time: float) -> np.ndarray:
+        """Samples recorded at or after ``start_time`` (warm-up exclusion)."""
+        times = self.times()
+        return self.values()[times >= start_time]
+
+    def clear(self) -> None:
+        """Drop all samples."""
+        self._times.clear()
+        self._values.clear()
+        self._ranks.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LatencyCollector n={self.count}>"

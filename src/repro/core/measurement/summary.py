@@ -1,0 +1,114 @@
+"""Probe-signature summaries: the measurement products the models consume.
+
+A :class:`ProbeSignature` is everything the paper extracts from one Impact
+experiment: the mean probe latency (the P–K *W*), its standard deviation,
+the full latency histogram, and — once calibration is available — the
+derived switch-utilization estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...errors import ExperimentError
+from ...queueing import ServiceEstimate, utilization_from_sojourn
+from .histogram import LatencyHistogram
+
+__all__ = ["ProbeSignature"]
+
+
+@dataclass(frozen=True)
+class ProbeSignature:
+    """Summary of probe latencies observed while some workload ran.
+
+    Attributes:
+        mean: average probe latency (the queue model's W), seconds.
+        std: standard deviation of probe latencies, seconds.
+        count: number of samples behind the summary.
+        histogram: normalized latency histogram on shared bins.
+        utilization: P–K utilization estimate in [0, 1) (NaN if built
+            without calibration).
+    """
+
+    mean: float
+    std: float
+    count: int
+    histogram: LatencyHistogram
+    utilization: float = float("nan")
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[float],
+        calibration: Optional[ServiceEstimate] = None,
+        edges: Optional[np.ndarray] = None,
+    ) -> "ProbeSignature":
+        """Summarize raw probe latencies.
+
+        Args:
+            samples: probe latencies in seconds.
+            calibration: idle-switch service estimate; enables the
+                utilization field via P–K inversion.
+            edges: histogram bin edges (defaults to the paper binning).
+
+        Raises:
+            ExperimentError: on fewer than 2 samples.
+        """
+        values = np.asarray(samples, dtype=float)
+        if values.size < 2:
+            raise ExperimentError(
+                f"need at least 2 probe samples to summarize, got {values.size}"
+            )
+        mean = float(values.mean())
+        std = float(values.std(ddof=1))
+        utilization = float("nan")
+        if calibration is not None:
+            utilization = utilization_from_sojourn(
+                mean, calibration.rate, calibration.variance
+            )
+        return cls(
+            mean=mean,
+            std=std,
+            count=int(values.size),
+            histogram=LatencyHistogram.from_values(values, edges),
+            utilization=utilization,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def interval(self) -> tuple[float, float]:
+        """[µ−σ, µ+σ], the AverageStDevLT matching interval."""
+        return (self.mean - self.std, self.mean + self.std)
+
+    def interval_overlap(self, other: "ProbeSignature") -> float:
+        """Length of the intersection of the two µ±σ intervals (≥ 0)."""
+        low = max(self.interval[0], other.interval[0])
+        high = min(self.interval[1], other.interval[1])
+        return max(0.0, high - low)
+
+    def pdf_affinity(self, other: "ProbeSignature") -> float:
+        """The PDFLT matching score (histogram mass overlap)."""
+        return self.histogram.overlap(other.histogram)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "count": self.count,
+            "utilization": self.utilization,
+            "histogram": self.histogram.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbeSignature":
+        return cls(
+            mean=data["mean"],
+            std=data["std"],
+            count=data["count"],
+            histogram=LatencyHistogram.from_dict(data["histogram"]),
+            utilization=data["utilization"],
+        )

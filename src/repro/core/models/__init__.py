@@ -1,0 +1,20 @@
+"""The paper's four slowdown-prediction models and the prediction engine."""
+
+from .base import FittedTable, SlowdownModel
+from .lookup import AverageLT, AverageStDevLT, PDFLT
+from .phase_aware import PhaseAwareQueueModel, split_phases
+from .predictor import PairPrediction, PredictionEngine, default_models, extended_models
+from .queue_model import QueueModel
+
+__all__ = [
+    "SlowdownModel",
+    "FittedTable",
+    "AverageLT",
+    "AverageStDevLT",
+    "PDFLT",
+    "QueueModel",
+    "PredictionEngine",
+    "PairPrediction",
+    "default_models",
+    "extended_models",
+]

@@ -1,0 +1,93 @@
+"""Prediction-model interface and shared fitting data.
+
+Every model consumes the same training products (paper §IV):
+
+* the 40 CompressionB configurations' probe signatures (from
+  CompressionB+ImpactB runs), and
+* per application, the measured percent degradation under each of those
+  configurations (from app+CompressionB runs).
+
+To predict the slowdown of application A co-running with workload B, a model
+receives B's probe signature (from B's own impact experiment) and returns a
+percent degradation for A.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence
+
+from ...core.measurement import ProbeSignature
+from ...errors import ModelError
+from ..experiments.compression import CompressionObservation
+
+__all__ = ["SlowdownModel", "FittedTable"]
+
+
+class FittedTable:
+    """The look-up table all models share: per-config signatures plus each
+    application's degradation under each config."""
+
+    def __init__(
+        self,
+        observations: Sequence[CompressionObservation],
+        degradations: Dict[str, Dict[str, float]],
+    ) -> None:
+        if not observations:
+            raise ModelError("cannot fit on an empty observation list")
+        self.observations = list(observations)
+        self.by_label = {obs.label: obs for obs in self.observations}
+        if len(self.by_label) != len(self.observations):
+            raise ModelError("duplicate CompressionB config labels in observations")
+        for app, table in degradations.items():
+            missing = set(self.by_label) - set(table)
+            if missing:
+                raise ModelError(
+                    f"app {app!r} lacks degradation entries for configs: {sorted(missing)}"
+                )
+        self.degradations = {app: dict(table) for app, table in degradations.items()}
+
+    @property
+    def app_names(self) -> List[str]:
+        return sorted(self.degradations)
+
+    def degradation(self, app: str, label: str) -> float:
+        """Measured % degradation of ``app`` under config ``label``."""
+        try:
+            return self.degradations[app][label]
+        except KeyError as exc:
+            raise ModelError(f"no degradation entry for app={app!r}, config={label!r}") from exc
+
+
+class SlowdownModel(ABC):
+    """A slowdown predictor in the paper's sense."""
+
+    #: Identifier used in reports ("AverageLT", "Queue", ...).
+    name: str = "model"
+
+    def __init__(self) -> None:
+        self._table: FittedTable | None = None
+
+    def fit(
+        self,
+        observations: Sequence[CompressionObservation],
+        degradations: Dict[str, Dict[str, float]],
+    ) -> "SlowdownModel":
+        """Store the look-up products; returns self for chaining."""
+        self._table = FittedTable(observations, degradations)
+        return self
+
+    @property
+    def table(self) -> FittedTable:
+        if self._table is None:
+            raise ModelError(f"{self.name} has not been fitted")
+        return self._table
+
+    @abstractmethod
+    def predict(self, app: str, other_signature: ProbeSignature) -> float:
+        """Predict % slowdown of ``app`` co-running with a workload whose
+        impact signature is ``other_signature``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fitted" if self._table is not None else "unfitted"
+        return f"<{type(self).__name__} {state}>"

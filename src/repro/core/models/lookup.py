@@ -1,0 +1,80 @@
+"""The three look-up-table models (paper §IV-A).
+
+All three select the CompressionB configuration whose probe signature most
+resembles the co-runner's signature, then return the measured degradation of
+the target application under that configuration.  They differ only in the
+resemblance metric:
+
+* **AverageLT** — closest mean latency |µ_B − µ_Ci|;
+* **AverageStDevLT** — largest overlap of the intervals [µ±σ];
+* **PDFLT** — largest histogram mass overlap Σᵢ p_i q_i (the discretized
+  ∫ f_B f_Ci of the paper).
+"""
+
+from __future__ import annotations
+
+from ...core.measurement import ProbeSignature
+from .base import SlowdownModel
+
+__all__ = ["AverageLT", "AverageStDevLT", "PDFLT"]
+
+
+class AverageLT(SlowdownModel):
+    """Match on mean probe latency."""
+
+    name = "AverageLT"
+
+    def predict(self, app: str, other_signature: ProbeSignature) -> float:
+        best = min(
+            self.table.observations,
+            key=lambda obs: abs(obs.impact.signature.mean - other_signature.mean),
+        )
+        return self.table.degradation(app, best.label)
+
+
+class AverageStDevLT(SlowdownModel):
+    """Match on the overlap of the µ±σ intervals.
+
+    If no configuration's interval intersects the target's (all overlaps
+    zero), fall back to the closest-mean choice — the paper does not define
+    this case, and the fallback keeps the model total.
+    """
+
+    name = "AverageStDevLT"
+
+    def predict(self, app: str, other_signature: ProbeSignature) -> float:
+        scored = [
+            (obs.impact.signature.interval_overlap(other_signature), obs)
+            for obs in self.table.observations
+        ]
+        best_overlap, best = max(scored, key=lambda pair: pair[0])
+        if best_overlap <= 0.0:
+            best = min(
+                self.table.observations,
+                key=lambda obs: abs(obs.impact.signature.mean - other_signature.mean),
+            )
+        return self.table.degradation(app, best.label)
+
+
+class PDFLT(SlowdownModel):
+    """Match on the full latency distribution.
+
+    The affinity Σᵢ pᵢ qᵢ can be zero for every configuration when the
+    target's histogram mass lies entirely beyond the shared bin range (an
+    extremely loaded co-runner); the model then falls back to closest mean.
+    """
+
+    name = "PDFLT"
+
+    def predict(self, app: str, other_signature: ProbeSignature) -> float:
+        scored = [
+            (obs.impact.signature.pdf_affinity(other_signature), obs)
+            for obs in self.table.observations
+        ]
+        best_affinity, best = max(scored, key=lambda pair: pair[0])
+        if best_affinity <= 0.0:
+            best = min(
+                self.table.observations,
+                key=lambda obs: abs(obs.impact.signature.mean - other_signature.mean),
+            )
+        return self.table.degradation(app, best.label)

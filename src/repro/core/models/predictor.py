@@ -1,0 +1,104 @@
+"""The prediction engine: fit all four models, predict any pairing.
+
+This is the paper's headline capability: experiments on N components in
+isolation (linear cost) produce predictions for all N² co-run combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...core.measurement import ProbeSignature
+from ...errors import ModelError
+from ..experiments.compression import CompressionObservation
+from .base import SlowdownModel
+from .lookup import AverageLT, AverageStDevLT, PDFLT
+from .queue_model import QueueModel
+
+__all__ = ["PairPrediction", "PredictionEngine", "default_models", "extended_models"]
+
+
+def default_models() -> List[SlowdownModel]:
+    """The paper's four models in presentation order."""
+    return [AverageLT(), AverageStDevLT(), PDFLT(), QueueModel()]
+
+
+def extended_models(calibration) -> List[SlowdownModel]:
+    """The paper's four models plus the phase-aware extension.
+
+    Args:
+        calibration: idle-switch :class:`~repro.queueing.ServiceEstimate`
+            (the phase-aware model inverts per-phase latencies itself).
+    """
+    from .phase_aware import PhaseAwareQueueModel
+
+    return default_models() + [PhaseAwareQueueModel(calibration)]
+
+
+@dataclass(frozen=True)
+class PairPrediction:
+    """Predicted % slowdown of ``app`` when co-running with ``other``."""
+
+    app: str
+    other: str
+    model: str
+    predicted: float
+
+
+class PredictionEngine:
+    """Fits models on the compression products and predicts pairings.
+
+    Args:
+        observations: the CompressionB catalog signatures.
+        degradations: per-app, per-config measured % degradations.
+        signatures: per-app impact signatures (each app measured alone).
+        models: model instances (defaults to the paper's four).
+    """
+
+    def __init__(
+        self,
+        observations: Sequence[CompressionObservation],
+        degradations: Dict[str, Dict[str, float]],
+        signatures: Dict[str, ProbeSignature],
+        models: Optional[Sequence[SlowdownModel]] = None,
+    ) -> None:
+        self.signatures = dict(signatures)
+        self.models: Dict[str, SlowdownModel] = {}
+        for model in models if models is not None else default_models():
+            model.fit(observations, degradations)
+            self.models[model.name] = model
+
+    @property
+    def model_names(self) -> List[str]:
+        return list(self.models)
+
+    def signature_of(self, app: str) -> ProbeSignature:
+        try:
+            return self.signatures[app]
+        except KeyError as exc:
+            raise ModelError(f"no impact signature recorded for {app!r}") from exc
+
+    def predict(self, app: str, other: str, model: str) -> float:
+        """Predicted % slowdown of ``app`` co-running with ``other``."""
+        try:
+            fitted = self.models[model]
+        except KeyError as exc:
+            raise ModelError(f"unknown model {model!r}") from exc
+        return fitted.predict(app, self.signature_of(other))
+
+    def predict_pair(self, app: str, other: str) -> List[PairPrediction]:
+        """All models' predictions for one ordered pairing."""
+        return [
+            PairPrediction(app, other, name, self.predict(app, other, name))
+            for name in self.models
+        ]
+
+    def predict_all(self, apps: Optional[Sequence[str]] = None) -> List[PairPrediction]:
+        """Predictions for every ordered pairing of ``apps`` (default: all)."""
+        names = list(apps) if apps is not None else sorted(self.signatures)
+        predictions = []
+        for app in names:
+            for other in names:
+                predictions.extend(self.predict_pair(app, other))
+        return predictions

@@ -1,0 +1,72 @@
+"""The queue-theoretic model (paper §IV-B, §V-B).
+
+Impact experiments on a workload B yield its switch-queue utilization U_B
+(the P–K inversion of its mean probe latency).  Compression experiments on
+application A yield a mapping p_A : utilization → % degradation (Fig. 7).
+The prediction for A co-running with B is simply p_A(U_B).
+
+The paper selects "the configurations of CompressionB that also utilize
+U_B% of the switch queue"; we support both that nearest-configuration rule
+and piecewise-linear interpolation between the two bracketing
+configurations (the default, which removes the catalog's quantization
+noise).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ...core.measurement import ProbeSignature
+from ...errors import ModelError
+from .base import SlowdownModel
+
+__all__ = ["QueueModel"]
+
+
+class QueueModel(SlowdownModel):
+    """Predict via the utilization coordinate.
+
+    Args:
+        interpolate: if True (default) linearly interpolate the degradation
+            curve between the two bracketing configurations; if False use the
+            single nearest-utilization configuration, exactly as written in
+            the paper.
+    """
+
+    name = "Queue"
+
+    def __init__(self, interpolate: bool = True) -> None:
+        super().__init__()
+        self.interpolate = interpolate
+
+    def _curve(self, app: str) -> List[Tuple[float, float]]:
+        """(utilization, degradation) points for ``app``, utilization-sorted."""
+        points = []
+        for obs in self.table.observations:
+            utilization = obs.impact.signature.utilization
+            if math.isnan(utilization):
+                raise ModelError(
+                    "queue model needs calibrated signatures (utilization is NaN); "
+                    "run the impact experiments with a ServiceEstimate"
+                )
+            points.append((utilization, self.table.degradation(app, obs.label)))
+        points.sort(key=lambda pair: pair[0])
+        return points
+
+    def predict(self, app: str, other_signature: ProbeSignature) -> float:
+        target = other_signature.utilization
+        if math.isnan(target):
+            raise ModelError("co-runner signature lacks a utilization estimate")
+        curve = self._curve(app)
+        if not self.interpolate:
+            nearest = min(curve, key=lambda pair: abs(pair[0] - target))
+            return nearest[1]
+        xs = np.asarray([pair[0] for pair in curve])
+        ys = np.asarray([pair[1] for pair in curve])
+        # np.interp clamps outside the measured range, which is what we want:
+        # a co-runner lighter than the lightest config predicts that config's
+        # degradation rather than extrapolating to negative slowdowns.
+        return float(np.interp(target, xs, ys))

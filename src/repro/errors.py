@@ -1,0 +1,64 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ProcessFailure",
+    "MPIError",
+    "MatchingError",
+    "EstimationError",
+    "ExperimentError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly or broke down."""
+
+
+class ProcessFailure(SimulationError):
+    """A simulated process raised an exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+    def __init__(self, process_name: str, message: str = "") -> None:
+        self.process_name = process_name
+        detail = f": {message}" if message else ""
+        super().__init__(f"simulated process {process_name!r} failed{detail}")
+
+
+class MPIError(ReproError):
+    """Misuse of the simulated message-passing layer."""
+
+
+class MatchingError(MPIError):
+    """A receive could not be matched or a request was misused."""
+
+
+class EstimationError(ReproError):
+    """A queueing-theory estimator could not produce a valid estimate."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was configured or executed incorrectly."""
+
+
+class ModelError(ReproError):
+    """A prediction model was queried before being fitted, or misused."""

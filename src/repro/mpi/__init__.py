@@ -1,0 +1,27 @@
+"""MPI-like message-passing layer over the simulated interconnect.
+
+Ranks are coroutines; blocking calls are generators composed with
+``yield from``; nonblocking calls return :class:`Request` handles.
+Collectives are genuine point-to-point algorithms, so they load the switch
+fabric the way real MPI libraries do.
+"""
+
+from .communicator import COLLECTIVE_TAG_BASE, Comm
+from .datatypes import ANY_SOURCE, ANY_TAG, Envelope, Status
+from .matching import MatchingEngine
+from .request import Request
+from .world import Job, MPIWorld, RankContext
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Envelope",
+    "Status",
+    "Request",
+    "MatchingEngine",
+    "Comm",
+    "COLLECTIVE_TAG_BASE",
+    "MPIWorld",
+    "RankContext",
+    "Job",
+]

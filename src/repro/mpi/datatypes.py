@@ -1,0 +1,76 @@
+"""Message envelopes, status, and matching wildcards."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Status"]
+
+#: Wildcard accepted by ``irecv(source=...)``.
+ANY_SOURCE = -1
+#: Wildcard accepted by ``irecv(tag=...)``.
+ANY_TAG = -1
+
+
+class Envelope:
+    """The metadata + optional payload of one message.
+
+    Payloads are optional: the simulation only needs byte counts for timing,
+    but tests and collectives carry real Python values to verify algorithm
+    correctness.
+
+    ``on_match`` implements the rendezvous protocol: when set, the envelope
+    is a ready-to-send notice — matching it does *not* complete the receive;
+    instead the hook fires (with the matched request) and the sender streams
+    the data, completing the request on arrival.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "tag",
+        "nbytes",
+        "payload",
+        "sent_at",
+        "delivered_at",
+        "on_match",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        payload: Any = None,
+        sent_at: float = -1.0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+        self.sent_at = sent_at
+        self.delivered_at = -1.0
+        self.on_match = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Envelope {self.src}->{self.dst} tag={self.tag} {self.nbytes}B>"
+
+
+class Status:
+    """Receive status: who sent, with what tag, how many bytes."""
+
+    __slots__ = ("source", "tag", "nbytes")
+
+    def __init__(self, source: int, tag: int, nbytes: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+
+    @classmethod
+    def from_envelope(cls, envelope: Envelope) -> "Status":
+        return cls(envelope.src, envelope.tag, envelope.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Status(source={self.source}, tag={self.tag}, nbytes={self.nbytes})"

@@ -1,0 +1,102 @@
+"""Ground-truth fabric statistics.
+
+The real switch hides its counters ("switch counters ... require root
+privileges", paper §IV-B) — but our simulated switch does not.  These
+counters provide the *true* utilization against which the paper's
+probe-latency estimator (P–K inversion) is validated in the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FabricStats"]
+
+
+class FabricStats:
+    """Windowed counters for one switch fabric.
+
+    All quantities accumulate since the last :meth:`reset`.  The busy-time
+    integral is maintained incrementally by the fabric on each service
+    completion.
+    """
+
+    __slots__ = (
+        "window_start",
+        "arrivals",
+        "served",
+        "busy_time",
+        "wait_sum",
+        "service_sum",
+        "queue_peak",
+    )
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.window_start = now
+        self.arrivals = 0
+        self.served = 0
+        self.busy_time = 0.0
+        self.wait_sum = 0.0
+        self.service_sum = 0.0
+        self.queue_peak = 0
+
+    def reset(self, now: float) -> None:
+        """Start a fresh measurement window at simulated time ``now``."""
+        self.window_start = now
+        self.arrivals = 0
+        self.served = 0
+        self.busy_time = 0.0
+        self.wait_sum = 0.0
+        self.service_sum = 0.0
+        self.queue_peak = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by the fabric)
+    # ------------------------------------------------------------------
+    def record_arrival(self, queue_length: int) -> None:
+        self.arrivals += 1
+        if queue_length > self.queue_peak:
+            self.queue_peak = queue_length
+
+    def record_service(self, wait: float, service: float) -> None:
+        self.served += 1
+        self.wait_sum += wait
+        self.service_sum += service
+        self.busy_time += service
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def utilization(self, now: float) -> float:
+        """True busy fraction of the server over the window."""
+        elapsed = now - self.window_start
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def arrival_rate(self, now: float) -> float:
+        """Observed packet arrival rate over the window."""
+        elapsed = now - self.window_start
+        if elapsed <= 0:
+            return 0.0
+        return self.arrivals / elapsed
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay of served packets (0 if none served)."""
+        return self.wait_sum / self.served if self.served else 0.0
+
+    @property
+    def mean_service(self) -> float:
+        """Mean service time of served packets (0 if none served)."""
+        return self.service_sum / self.served if self.served else 0.0
+
+    @property
+    def mean_sojourn(self) -> float:
+        """Mean wait + service of served packets."""
+        return self.mean_wait + self.mean_service
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FabricStats(arrivals={self.arrivals}, served={self.served}, "
+            f"busy={self.busy_time:.6f}s)"
+        )

@@ -1,0 +1,116 @@
+"""Topology analysis via networkx.
+
+Exports a topology as an annotated graph and computes the structural
+quantities that matter for contention studies: path redundancy, bisection
+width, and oversubscription.  Used to sanity-check fat-tree configurations
+and to document why the paper's single-switch setting is contention-maximal
+(every pair of nodes shares one switch).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from .topology import FatTreeTopology, Topology
+
+__all__ = [
+    "topology_graph",
+    "switch_hop_count",
+    "bisection_width",
+    "oversubscription_ratio",
+]
+
+
+def _node_name(node_id: int) -> str:
+    return f"n{node_id}"
+
+
+def _switch_name(switch_id: int) -> str:
+    return f"s{switch_id}"
+
+
+def topology_graph(topology: Topology) -> nx.Graph:
+    """Build the node/switch connectivity graph.
+
+    Vertices are ``n<i>`` (compute nodes, ``kind='node'``) and ``s<j>``
+    (switches, ``kind='switch'``); edges are physical links.  Switch-to-
+    switch links are derived from the routes the topology produces.
+    """
+    graph = nx.Graph()
+    for node_id in range(topology.node_count):
+        graph.add_node(_node_name(node_id), kind="node")
+    for switch_id in range(topology.switch_count):
+        graph.add_node(_switch_name(switch_id), kind="switch")
+    for node_id in range(topology.node_count):
+        graph.add_edge(
+            _node_name(node_id),
+            _switch_name(topology.attachment(node_id)),
+            kind="downlink",
+        )
+    # Inter-switch links.  For fat trees every leaf is cabled to every root
+    # (deterministic routing only *uses* one per pair, but the links exist);
+    # for other topologies, derive links from the routes actually taken.
+    if isinstance(topology, FatTreeTopology):
+        for leaf in range(topology.leaf_count):
+            for root in range(topology.leaf_count, topology.switch_count):
+                graph.add_edge(_switch_name(leaf), _switch_name(root), kind="uplink")
+    else:
+        for src in range(topology.node_count):
+            for dst in range(topology.node_count):
+                if src >= dst:
+                    continue
+                route = topology.route(src, dst)
+                for hop in range(len(route) - 1):
+                    graph.add_edge(
+                        _switch_name(route[hop]),
+                        _switch_name(route[hop + 1]),
+                        kind="uplink",
+                    )
+    return graph
+
+
+def switch_hop_count(topology: Topology, src: int, dst: int) -> int:
+    """Number of switches a packet traverses between two nodes."""
+    if src == dst:
+        return 0
+    return len(topology.route(src, dst))
+
+
+def bisection_width(topology: Topology) -> int:
+    """Minimum links cut to split the compute nodes into two equal halves.
+
+    Computed as a minimum edge cut between two halves of the node set on
+    the connectivity graph (unit capacities).  For a single switch this is
+    ``node_count // 2`` (every split severs that many downlinks).
+    """
+    if topology.node_count < 2:
+        raise ConfigurationError("bisection needs at least 2 nodes")
+    graph = topology_graph(topology)
+    half = topology.node_count // 2
+    left = [_node_name(i) for i in range(half)]
+    right = [_node_name(i) for i in range(half, topology.node_count)]
+    # Contract each side into a super-source/sink for a single min cut.
+    flow_graph = nx.Graph(graph)
+    flow_graph.add_node("SRC")
+    flow_graph.add_node("DST")
+    for name in left:
+        flow_graph.add_edge("SRC", name, capacity=float("inf"))
+    for name in right:
+        flow_graph.add_edge("DST", name, capacity=float("inf"))
+    for edge in graph.edges:
+        flow_graph.edges[edge]["capacity"] = 1.0
+    cut_value, _partition = nx.minimum_cut(flow_graph, "SRC", "DST")
+    return int(cut_value)
+
+
+def oversubscription_ratio(topology: FatTreeTopology) -> float:
+    """Downlinks per uplink on a leaf switch (1.0 = full bisection).
+
+    The paper's Cab leaf switches use 18 of 36 ports down and 18 up — a
+    1:1 ratio; oversubscribed trees (>1) congest at the uplinks first.
+    """
+    uplinks = topology.root_count
+    if uplinks < 1:
+        raise ConfigurationError("fat tree needs at least one root")
+    return topology.nodes_per_leaf / uplinks

@@ -1,0 +1,38 @@
+"""Point-to-point link model: fixed propagation latency + serialization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["Link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A full-duplex link characterized by bandwidth and propagation delay.
+
+    Attributes:
+        bandwidth: bytes/second (Cab: ~5 GB/s per the paper).
+        latency: one-way propagation delay in seconds.
+    """
+
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {self.latency}")
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time to clock ``nbytes`` onto the wire."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be non-negative, got {nbytes}")
+        return nbytes / self.bandwidth
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Serialization plus propagation for a single transfer."""
+        return self.serialization_time(nbytes) + self.latency

@@ -1,0 +1,204 @@
+"""The interconnect: NICs + switches + routing + message reassembly.
+
+:class:`InterconnectNetwork` is the message-level API the MPI layer uses.
+A send packetizes the message, serializes the packets through the source
+node's NIC, routes them through the switch fabric(s), and fires a delivery
+callback when the final packet reaches the destination node.  Intra-node
+messages bypass the network (shared-memory path).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a config <-> network import cycle
+    from ..config import NetworkConfig
+from ..sim import RandomStreams, Simulator
+from .link import Link
+from .nic import NIC
+from .packet import Packet, packetize
+from .switch import OutputQueuedSwitch, SwitchFabric
+from .topology import SingleSwitchTopology, Topology
+
+__all__ = ["InterconnectNetwork"]
+
+DeliveredCallback = Callable[[], None]
+SentCallback = Callable[[], None]
+
+
+class _PendingMessage:
+    """Reassembly state for one in-flight message."""
+
+    __slots__ = ("remaining", "on_delivered")
+
+    def __init__(self, remaining: int, on_delivered: DeliveredCallback) -> None:
+        self.remaining = remaining
+        self.on_delivered = on_delivered
+
+
+class InterconnectNetwork:
+    """A simulated interconnect bound to one simulator.
+
+    Args:
+        sim: the simulation kernel.
+        topology: node/switch layout (default: single switch).
+        config: link/fabric parameters.
+        streams: random streams (fabric service draws use
+            ``"network.switch<i>.service"``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: "NetworkConfig",
+        streams: RandomStreams,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config
+        link = Link(bandwidth=config.link_bandwidth, latency=config.link_latency)
+        self.nics: List[NIC] = [
+            NIC(sim, node_id, link, min_packet_overhead=config.nic_overhead)
+            for node_id in range(topology.node_count)
+        ]
+        if config.switch_mode == "central":
+            self.switches: List = [
+                SwitchFabric(
+                    sim,
+                    service_model=config.fabric_service,
+                    rng=streams.stream(f"network.switch{i}.service"),
+                    egress_latency=config.egress_latency,
+                    servers=config.fabric_servers,
+                    name=f"switch{i}",
+                )
+                for i in range(topology.switch_count)
+            ]
+        else:
+            self.switches = [
+                OutputQueuedSwitch(
+                    sim,
+                    port_bandwidth=config.link_bandwidth,
+                    overhead_model=config.port_overhead,
+                    rng=streams.stream(f"network.switch{i}.service"),
+                    egress_latency=config.egress_latency,
+                    name=f"switch{i}",
+                )
+                for i in range(topology.switch_count)
+            ]
+        # Attach every node's delivery handler to the switch that can be the
+        # last hop toward it (its attachment switch).
+        for node_id in range(topology.node_count):
+            switch = self.switches[topology.attachment(node_id)]
+            switch.attach_endpoint(node_id, self._on_packet)
+        self._message_ids = itertools.count()
+        self._pending: Dict[int, _PendingMessage] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def switch(self, index: int = 0):
+        """Access a switch (for stats / calibration)."""
+        return self.switches[index]
+
+    def true_utilization(self, index: int = 0) -> float:
+        """Ground-truth utilization of one switch over the stats window.
+
+        For output-queued switches this is the mean busy fraction across
+        attached ports; for a central fabric it is the server busy fraction.
+        """
+        switch = self.switches[index]
+        if isinstance(switch, OutputQueuedSwitch):
+            return switch.utilization(self.sim.now)
+        return switch.stats.utilization(self.sim.now)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet fully delivered."""
+        return len(self._pending)
+
+    def reset_stats(self) -> None:
+        """Open a fresh measurement window on every fabric."""
+        for switch in self.switches:
+            switch.stats.reset(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Message path
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes: int,
+        on_delivered: DeliveredCallback,
+        on_sent: Optional[SentCallback] = None,
+        flow: Optional[object] = None,
+    ) -> int:
+        """Send ``nbytes`` from ``src_node`` to ``dst_node``.
+
+        Args:
+            on_delivered: fires when the last packet reaches the destination.
+            on_sent: fires at local send completion (last packet serialized
+                by the source NIC) — the MPI layer completes isend here.
+            flow: arbitration key for per-flow round-robin at switch output
+                ports (typically the sending rank); defaults to the source
+                node.
+
+        Returns:
+            The message id (useful for tracing).
+        """
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be non-negative, got {nbytes}")
+        message_id = next(self._message_ids)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+
+        if src_node == dst_node:
+            # Shared-memory path: no NIC, no fabric.
+            delay = self.config.local_latency + nbytes / self.config.local_bandwidth
+            if on_sent is not None:
+                self.sim.schedule(delay, on_sent)
+            self.sim.schedule(delay, on_delivered)
+            return message_id
+
+        packets = packetize(message_id, nbytes, self.config.mtu, src_node, dst_node, flow=flow)
+        route_ids = self.topology.route(src_node, dst_node)
+        route = tuple(self.switches[i] for i in route_ids)
+        for packet in packets:
+            packet.route = route
+            packet.hop = 0
+        self._pending[message_id] = _PendingMessage(len(packets), on_delivered)
+
+        nic = self.nics[src_node]
+        nic.inject(packets, route[0].arrive, on_complete=on_sent)
+        return message_id
+
+    def _on_packet(self, packet: Packet) -> None:
+        pending = self._pending.get(packet.message_id)
+        if pending is None:
+            raise ConfigurationError(
+                f"delivery for unknown message {packet.message_id}"
+            )
+        pending.remaining -= 1
+        if pending.remaining == 0:
+            del self._pending[packet.message_id]
+            pending.on_delivered()
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_switch(
+        cls,
+        sim: Simulator,
+        node_count: int,
+        config: "NetworkConfig",
+        streams: RandomStreams,
+    ) -> "InterconnectNetwork":
+        """The paper's configuration: every node on one leaf switch."""
+        return cls(sim, SingleSwitchTopology(node_count), config, streams)

@@ -1,0 +1,122 @@
+"""Network topologies: node→switch attachment and route computation.
+
+The paper's experiments use the bottom level of a two-level fat tree: 18
+nodes per QLogic 12300 leaf switch.  :class:`SingleSwitchTopology` is that
+configuration; :class:`FatTreeTopology` models the full two-level tree for
+completeness (routes crossing leaf switches traverse leaf→root→leaf).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["Topology", "SingleSwitchTopology", "FatTreeTopology"]
+
+
+class Topology:
+    """Abstract topology: maps nodes to switches and computes switch routes.
+
+    Switches are identified by contiguous ids ``0..switch_count-1``; routes
+    are tuples of switch ids a packet traverses in order.
+    """
+
+    @property
+    def node_count(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def switch_count(self) -> int:
+        raise NotImplementedError
+
+    def attachment(self, node_id: int) -> int:
+        """The switch a node's uplink connects to."""
+        raise NotImplementedError
+
+    def route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        """Ordered switch ids between two (distinct-node) endpoints."""
+        raise NotImplementedError
+
+    def _check_node(self, node_id: int) -> None:
+        if not 0 <= node_id < self.node_count:
+            raise ConfigurationError(
+                f"node {node_id} out of range [0, {self.node_count})"
+            )
+
+
+class SingleSwitchTopology(Topology):
+    """All nodes on one switch (the paper's experimental configuration)."""
+
+    def __init__(self, node_count: int) -> None:
+        if node_count < 1:
+            raise ConfigurationError(f"node_count must be >= 1, got {node_count}")
+        self._node_count = node_count
+
+    @property
+    def node_count(self) -> int:
+        return self._node_count
+
+    @property
+    def switch_count(self) -> int:
+        return 1
+
+    def attachment(self, node_id: int) -> int:
+        self._check_node(node_id)
+        return 0
+
+    def route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        self._check_node(src_node)
+        self._check_node(dst_node)
+        return (0,)
+
+
+class FatTreeTopology(Topology):
+    """A two-level fat tree: L leaf switches × N nodes each, plus one root tier.
+
+    Switch ids: leaves are ``0..leaf_count-1``; root switches follow.  Traffic
+    between nodes on the same leaf stays on that leaf; otherwise it goes
+    leaf → root → leaf.  Root selection is deterministic by (src leaf, dst
+    leaf) hash so a fixed pair always shares a path (as with deterministic
+    InfiniBand routing).
+    """
+
+    def __init__(self, leaf_count: int, nodes_per_leaf: int, root_count: int = 1) -> None:
+        if leaf_count < 1 or nodes_per_leaf < 1 or root_count < 1:
+            raise ConfigurationError(
+                f"invalid fat tree: leaves={leaf_count}, nodes/leaf={nodes_per_leaf}, "
+                f"roots={root_count}"
+            )
+        self.leaf_count = leaf_count
+        self.nodes_per_leaf = nodes_per_leaf
+        self.root_count = root_count
+
+    @property
+    def node_count(self) -> int:
+        return self.leaf_count * self.nodes_per_leaf
+
+    @property
+    def switch_count(self) -> int:
+        return self.leaf_count + self.root_count
+
+    def attachment(self, node_id: int) -> int:
+        self._check_node(node_id)
+        return node_id // self.nodes_per_leaf
+
+    def root_for(self, src_leaf: int, dst_leaf: int) -> int:
+        """Deterministic root-switch choice for a leaf pair."""
+        return self.leaf_count + (src_leaf * 31 + dst_leaf * 17) % self.root_count
+
+    def route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
+        self._check_node(src_node)
+        self._check_node(dst_node)
+        src_leaf = self.attachment(src_node)
+        dst_leaf = self.attachment(dst_node)
+        if src_leaf == dst_leaf:
+            return (src_leaf,)
+        return (src_leaf, self.root_for(src_leaf, dst_leaf), dst_leaf)
+
+
+def route_node_list(topology: Topology, src_node: int, dst_node: int) -> List[int]:
+    """Convenience wrapper returning the route as a list (for display)."""
+    return list(topology.route(src_node, dst_node))

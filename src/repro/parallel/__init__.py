@@ -1,0 +1,5 @@
+"""Parallel experiment driver (process-pool map with serial fallback)."""
+
+from .runner import default_worker_count, map_experiments
+
+__all__ = ["map_experiments", "default_worker_count"]

@@ -1,0 +1,23 @@
+"""Queueing-theory substrate: M/G/1 and M/M/1 closed forms plus the
+Pollaczek–Khinchine inversion the paper uses to turn observed probe latencies
+into switch-utilization estimates (paper §IV-B, Eqs. 1–3)."""
+
+from .distributions import ServiceEstimate
+from .estimators import (
+    arrival_rate_from_sojourn,
+    sojourn_from_utilization,
+    utilization_from_sojourn,
+)
+from .mg1 import MG1, pk_sojourn_time, pk_waiting_time
+from .mm1 import MM1
+
+__all__ = [
+    "MG1",
+    "MM1",
+    "ServiceEstimate",
+    "pk_waiting_time",
+    "pk_sojourn_time",
+    "arrival_rate_from_sojourn",
+    "utilization_from_sojourn",
+    "sojourn_from_utilization",
+]

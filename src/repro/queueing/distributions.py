@@ -1,0 +1,98 @@
+"""Service-time statistics estimated from samples.
+
+Calibration (paper §IV-B) sends individual packets through an idle switch and
+derives the hardware parameters the queue model needs: service rate µ and
+service-time variance Var(S).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import EstimationError
+
+__all__ = ["ServiceEstimate"]
+
+
+@dataclass(frozen=True)
+class ServiceEstimate:
+    """Calibrated service-time parameters of a switch fabric.
+
+    Attributes:
+        mean: E[S] in seconds.
+        variance: Var(S) in seconds².
+        minimum: fastest observed service (the paper uses minimum latency to
+            bound the hardware service time).
+        sample_count: number of calibration samples used.
+    """
+
+    mean: float
+    variance: float
+    minimum: float
+    sample_count: int
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise EstimationError(f"mean service time must be positive, got {self.mean}")
+        if self.variance < 0:
+            raise EstimationError(f"variance must be non-negative, got {self.variance}")
+
+    @property
+    def rate(self) -> float:
+        """Service rate µ = 1/E[S] (packets/second)."""
+        return 1.0 / self.mean
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation, Var(S)/E[S]²."""
+        return self.variance / (self.mean * self.mean)
+
+    @property
+    def second_moment(self) -> float:
+        """E[S²] = Var(S) + E[S]²."""
+        return self.variance + self.mean * self.mean
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "mean": self.mean,
+            "variance": self.variance,
+            "minimum": self.minimum,
+            "sample_count": self.sample_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceEstimate":
+        return cls(
+            mean=data["mean"],
+            variance=data["variance"],
+            minimum=data["minimum"],
+            sample_count=data["sample_count"],
+        )
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "ServiceEstimate":
+        """Estimate parameters from idle-switch latency samples.
+
+        Args:
+            samples: per-packet service-time observations in seconds.
+
+        Raises:
+            EstimationError: on fewer than 2 samples or non-positive values.
+        """
+        values = np.asarray(samples, dtype=float)
+        if values.size < 2:
+            raise EstimationError(
+                f"need at least 2 calibration samples, got {values.size}"
+            )
+        if np.any(values <= 0) or np.any(~np.isfinite(values)):
+            raise EstimationError("calibration samples must be positive and finite")
+        return cls(
+            mean=float(values.mean()),
+            variance=float(values.var(ddof=1)),
+            minimum=float(values.min()),
+            sample_count=int(values.size),
+        )

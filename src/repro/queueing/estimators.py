@@ -1,0 +1,105 @@
+"""Inversion of the Pollaczek–Khinchine formula (paper Eq. 3).
+
+The paper's key trick: switch packet counters need root access, but the mean
+probe latency *W* is observable from ImpactB.  Given the idle-switch service
+rate µ and service variance Var(S) (from calibration), solve the P–K formula
+for the arrival rate λ and hence the utilization ρ = λ/µ.
+
+Derivation (matches the paper's Eq. 3 after clearing fractions):
+
+    W − 1/µ = λ·E[S²] / (2(1 − λ/µ)),  E[S²] = Var(S) + 1/µ²
+    ⇒  λ = 2(W − 1/µ) / (E[S²] + 2(W − 1/µ)/µ)
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import EstimationError
+
+__all__ = [
+    "arrival_rate_from_sojourn",
+    "utilization_from_sojourn",
+    "sojourn_from_utilization",
+]
+
+
+def arrival_rate_from_sojourn(
+    sojourn_time: float,
+    service_rate: float,
+    service_variance: float,
+    *,
+    clamp: bool = True,
+) -> float:
+    """Estimate λ from the observed mean latency ``sojourn_time`` (W).
+
+    Args:
+        sojourn_time: mean total packet latency observed by the probe (s).
+        service_rate: calibrated idle-switch service rate µ (packets/s).
+        service_variance: calibrated Var(S) (s²).
+        clamp: if True (default), observations slightly below the idle
+            latency (W < 1/µ, possible with sampling noise) clamp to λ = 0 and
+            estimates at/above saturation clamp to just under µ.  If False
+            such observations raise :class:`EstimationError`.
+
+    Returns:
+        The arrival-rate estimate, in [0, µ).
+    """
+    if service_rate <= 0:
+        raise EstimationError(f"service rate must be positive, got {service_rate}")
+    if service_variance < 0:
+        raise EstimationError(f"service variance must be non-negative, got {service_variance}")
+    if sojourn_time <= 0 or math.isnan(sojourn_time):
+        raise EstimationError(f"sojourn time must be positive, got {sojourn_time}")
+
+    mean_service = 1.0 / service_rate
+    excess = sojourn_time - mean_service
+    if excess < 0:
+        if clamp:
+            return 0.0
+        raise EstimationError(
+            f"observed latency {sojourn_time} is below the idle service time {mean_service}"
+        )
+    second_moment = service_variance + mean_service * mean_service
+    arrival_rate = 2.0 * excess / (second_moment + 2.0 * excess * mean_service)
+    # Numerically λ < µ always holds here (the map W→λ is a bijection onto
+    # [0, µ)), but guard against float edge cases.
+    if arrival_rate >= service_rate:
+        if clamp:
+            return math.nextafter(service_rate, 0.0)
+        raise EstimationError("estimated arrival rate reached saturation")
+    return arrival_rate
+
+
+def utilization_from_sojourn(
+    sojourn_time: float,
+    service_rate: float,
+    service_variance: float,
+    *,
+    clamp: bool = True,
+) -> float:
+    """Estimate ρ = λ/µ from the observed mean probe latency.
+
+    This is the paper's switch-utilization metric (§IV-B), in [0, 1).
+    """
+    arrival_rate = arrival_rate_from_sojourn(
+        sojourn_time, service_rate, service_variance, clamp=clamp
+    )
+    return arrival_rate / service_rate
+
+
+def sojourn_from_utilization(
+    utilization: float,
+    service_rate: float,
+    service_variance: float,
+) -> float:
+    """Forward map ρ → W (inverse of :func:`utilization_from_sojourn`).
+
+    Useful for tests (round-trip property) and for synthesizing expected probe
+    latencies at a target utilization.
+    """
+    if not 0.0 <= utilization < 1.0:
+        raise EstimationError(f"utilization must be in [0, 1), got {utilization}")
+    from .mg1 import pk_sojourn_time
+
+    return pk_sojourn_time(utilization * service_rate, service_rate, service_variance)

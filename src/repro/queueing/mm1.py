@@ -1,0 +1,66 @@
+"""M/M/1 queue closed forms.
+
+The exponential-service special case of M/G/1, used as an analytic
+cross-check for the Pollaczek–Khinchine implementation and in tests that
+compare the simulated fabric against theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EstimationError
+
+__all__ = ["MM1"]
+
+
+@dataclass(frozen=True)
+class MM1:
+    """An M/M/1 queue: Poisson arrivals (λ), exponential service (µ)."""
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.service_rate <= 0:
+            raise EstimationError(f"service rate must be positive, got {self.service_rate}")
+        if self.arrival_rate < 0:
+            raise EstimationError(f"arrival rate must be non-negative, got {self.arrival_rate}")
+        if self.arrival_rate >= self.service_rate:
+            raise EstimationError(
+                f"unstable queue: {self.arrival_rate} >= {self.service_rate}"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """ρ = λ/µ."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def sojourn_time(self) -> float:
+        """W = 1/(µ − λ)."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def waiting_time(self) -> float:
+        """Wq = ρ/(µ − λ)."""
+        return self.utilization / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_in_system(self) -> float:
+        """L = ρ/(1 − ρ)."""
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Lq = ρ²/(1 − ρ)."""
+        rho = self.utilization
+        return rho * rho / (1.0 - rho)
+
+    def prob_n_in_system(self, count: int) -> float:
+        """P[N = count] = (1 − ρ)·ρⁿ."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        rho = self.utilization
+        return (1.0 - rho) * rho**count

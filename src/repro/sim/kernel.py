@@ -1,0 +1,235 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns a time-ordered event heap and executes callbacks in
+deterministic order (time, then insertion sequence).  Everything else in the
+library — the network fabric, NICs, MPI ranks — is built from callbacks and
+coroutine processes scheduled on one simulator.
+
+The kernel is deliberately small and allocation-light: the switch fabric
+processes hundreds of thousands of packets per experiment, each costing a
+handful of heap operations, so the hot-path entries are plain 4-tuples
+``(time, seq, fn, args)`` on a ``heapq``; cancellable entries (rarely
+needed) wrap their callback in a :class:`ScheduledCall` guard.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .events import AllOf, AnyOf, SimEvent
+
+__all__ = ["Simulator", "ScheduledCall"]
+
+
+class ScheduledCall:
+    """Handle for a cancellable scheduled callback."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+        self.time = time
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        self.fn = None  # release references eagerly
+        self.args = ()
+
+    def _run(self) -> None:
+        if not self.cancelled:
+            fn = self.fn
+            assert fn is not None
+            fn(*self.args)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Args:
+        start_time: initial simulated time (seconds).
+
+    Example:
+        >>> sim = Simulator()
+        >>> hits = []
+        >>> sim.schedule(1.5, hits.append, "a")
+        >>> sim.schedule(0.5, hits.append, "b")
+        >>> sim.run()
+        >>> hits
+        ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Callable[..., Any], Tuple[Any, ...]]] = []
+        self._sequence = 0
+        self._events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Time & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (for budgeting/diagnostics)."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) entries in the heap."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Raises:
+            SimulationError: if ``delay`` is negative or NaN.
+        """
+        if delay < 0.0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule with delay {delay!r}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, fn, args))
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at an absolute simulated time.
+
+        Raises:
+            SimulationError: if ``time`` lies in the simulated past.
+        """
+        if time < self._now or math.isnan(time):
+            raise SimulationError(
+                f"cannot schedule at t={time!r}; current time is {self._now!r}"
+            )
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, self._sequence, fn, args))
+
+    def schedule_cancellable(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> ScheduledCall:
+        """Like :meth:`schedule` but returns a cancellable handle."""
+        if delay < 0.0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule with delay {delay!r}")
+        entry = ScheduledCall(self._now + delay, fn, args)
+        self._sequence += 1
+        heapq.heappush(self._heap, (entry.time, self._sequence, entry._run, ()))
+        return entry
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh untriggered :class:`SimEvent` bound to this simulator."""
+        return SimEvent(self, name)
+
+    def all_of(self, events: List[SimEvent], name: str = "") -> AllOf:
+        """Event firing when all ``events`` have fired."""
+        return AllOf(self, events, name)
+
+    def any_of(self, events: List[SimEvent], name: str = "") -> AnyOf:
+        """Event firing when the first of ``events`` fires."""
+        return AnyOf(self, events, name)
+
+    def spawn(self, generator: Generator[Any, Any, Any], name: str = "") -> "Process":
+        """Start a coroutine process; see :class:`repro.sim.process.Process`."""
+        from .process import Process  # local import to avoid a cycle
+
+        return Process(self, generator, name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled callback.
+
+        Returns:
+            ``True`` if a callback ran, ``False`` if the heap was empty.
+        """
+        heap = self._heap
+        if not heap:
+            return False
+        time, _seq, fn, args = heapq.heappop(heap)
+        self._now = time
+        self._events_executed += 1
+        fn(*args)
+        return True
+
+    def run(self, until: float = math.inf, max_events: Optional[int] = None) -> None:
+        """Run until the heap empties, ``until`` is reached, or budget expires.
+
+        When stopping at ``until``, the clock is advanced to exactly ``until``
+        if any work remained beyond it.
+
+        Raises:
+            SimulationError: on re-entrant ``run`` or exhausted event budget.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        budget = math.inf if max_events is None else max_events
+        heap = self._heap
+        pop = heapq.heappop
+        self._running = True
+        try:
+            executed = 0
+            while heap:
+                if heap[0][0] > until:
+                    self._now = until
+                    return
+                if executed >= budget:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted at t={self._now:.9f}"
+                    )
+                time, _seq, fn, args = pop(heap)
+                self._now = time
+                executed += 1
+                self._events_executed += 1
+                fn(*args)
+            if until is not math.inf and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_until_event(self, event: SimEvent, max_events: Optional[int] = None) -> Any:
+        """Run until ``event`` triggers; return its value.
+
+        Raises:
+            SimulationError: if the heap empties before the event triggers,
+                or the event budget runs out.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run_until_event() is not re-entrant")
+        budget = math.inf if max_events is None else max_events
+        heap = self._heap
+        pop = heapq.heappop
+        self._running = True
+        executed = 0
+        try:
+            while not event.triggered:
+                if not heap:
+                    raise SimulationError(
+                        f"simulation ran dry before event {event.name!r} triggered"
+                    )
+                if executed >= budget:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted waiting for {event.name!r}"
+                    )
+                time, _seq, fn, args = pop(heap)
+                self._now = time
+                executed += 1
+                self._events_executed += 1
+                fn(*args)
+        finally:
+            self._running = False
+        return event.value

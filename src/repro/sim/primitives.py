@@ -1,0 +1,113 @@
+"""Synchronization primitives built on the kernel: Resource and Store.
+
+These are used by the network substrate (NIC injection serialization) and are
+generally useful for modelling contention points.  Both are strictly FIFO,
+which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from ..errors import SimulationError
+from .events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO acquisition.
+
+    ``acquire()`` returns a :class:`SimEvent` that fires when a unit is
+    granted; processes typically ``yield resource.acquire()``.  Each grant
+    must be balanced by exactly one :meth:`release`.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or "resource"
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquisitions waiting for a unit."""
+        return len(self._waiters)
+
+    def acquire(self) -> SimEvent:
+        """Request a unit; the returned event fires when it is granted."""
+        event = self.sim.event(f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a unit, handing it to the oldest waiter if any.
+
+        Raises:
+            SimulationError: if released more times than acquired.
+        """
+        if self._in_use <= 0:
+            raise SimulationError(f"Resource {self.name!r} released while idle")
+        if self._waiters:
+            # Hand the unit straight to the next waiter; _in_use is unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store(object):
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get()`` returns a :class:`SimEvent` whose value
+    is the item.  Pending gets are served in FIFO order.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name or "store"
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        """Number of unfulfilled ``get`` requests."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        """Request the oldest item; the event's value is the item."""
+        event = self.sim.event(f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek(self) -> Optional[Any]:
+        """Return (without removing) the oldest item, or ``None`` if empty."""
+        return self._items[0] if self._items else None

@@ -1,0 +1,27 @@
+"""Tracing substrate: per-rank state intervals and workload profiling.
+
+Note: :mod:`repro.trace.tracer` has no dependencies on the MPI layer (the
+MPI layer imports *it*), while :mod:`repro.trace.profile` sits above both —
+import it as ``repro.trace.profile`` or via :func:`profile_workload` lazily.
+"""
+
+from .tracer import COMPUTE, SLEEP, WAIT, StateInterval, StateTracer
+
+__all__ = [
+    "StateTracer",
+    "StateInterval",
+    "COMPUTE",
+    "WAIT",
+    "SLEEP",
+    "profile_workload",
+    "render_profile",
+    "WorkloadProfile",
+]
+
+
+def __getattr__(name: str):
+    if name in ("profile_workload", "render_profile", "WorkloadProfile"):
+        from . import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

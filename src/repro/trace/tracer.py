@@ -1,0 +1,103 @@
+"""Per-rank state tracing (the "indirect measurement" comparison point).
+
+The paper's related work contrasts active measurement with tracing tools
+(Vampir, Paraver): instrument the application, record what each rank does,
+and infer network behaviour indirectly.  This module provides that
+capability for simulated workloads: when an :class:`MPIWorld` is given a
+:class:`StateTracer`, every compute phase, sleep, and blocking MPI wait is
+recorded as a timed interval.
+
+The resulting profiles explain the reproduction's results — e.g. FFTW's
+dominance in Fig. 7 is exactly its wait fraction — and power the
+``repro.trace.profile_workload`` convenience API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from ..errors import ExperimentError
+
+__all__ = ["StateInterval", "StateTracer", "COMPUTE", "WAIT", "SLEEP"]
+
+#: Rank is executing local work.
+COMPUTE = "compute"
+#: Rank is blocked in an MPI wait.
+WAIT = "wait"
+#: Rank is deliberately idle (probe gaps, interference sleeps).
+SLEEP = "sleep"
+
+_VALID_STATES = (COMPUTE, WAIT, SLEEP)
+
+
+class StateInterval(NamedTuple):
+    """One contiguous interval of a rank in one state."""
+
+    rank: int
+    state: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class StateTracer:
+    """Collects per-rank state intervals for one job."""
+
+    def __init__(self) -> None:
+        self._intervals: List[StateInterval] = []
+
+    def record(self, rank: int, state: str, start: float, end: float) -> None:
+        """Record one interval.
+
+        Raises:
+            ExperimentError: on unknown state or a negative-length interval.
+        """
+        if state not in _VALID_STATES:
+            raise ExperimentError(f"unknown trace state {state!r}")
+        if end < start:
+            raise ExperimentError(f"interval ends before it starts: [{start}, {end}]")
+        self._intervals.append(StateInterval(rank, state, start, end))
+
+    # ------------------------------------------------------------------
+    @property
+    def interval_count(self) -> int:
+        return len(self._intervals)
+
+    def intervals(self, rank: Optional[int] = None) -> List[StateInterval]:
+        """All intervals, optionally filtered by rank, in record order."""
+        if rank is None:
+            return list(self._intervals)
+        return [interval for interval in self._intervals if interval.rank == rank]
+
+    def totals(self, rank: Optional[int] = None) -> Dict[str, float]:
+        """Accumulated seconds per state (all states present, maybe 0)."""
+        sums: Dict[str, float] = {state: 0.0 for state in _VALID_STATES}
+        for interval in self._intervals:
+            if rank is None or interval.rank == rank:
+                sums[interval.state] += interval.duration
+        return sums
+
+    def fractions(self, rank: Optional[int] = None) -> Dict[str, float]:
+        """Share of traced time per state (zeros if nothing traced)."""
+        sums = self.totals(rank)
+        total = sum(sums.values())
+        if total <= 0:
+            return {state: 0.0 for state in _VALID_STATES}
+        return {state: value / total for state, value in sums.items()}
+
+    def wait_fraction(self, rank: Optional[int] = None) -> float:
+        """The key indirect metric: share of traced time blocked on MPI."""
+        return self.fractions(rank)[WAIT]
+
+    def ranks(self) -> List[int]:
+        """Ranks with at least one interval, ascending."""
+        return sorted({interval.rank for interval in self._intervals})
+
+    def clear(self) -> None:
+        self._intervals.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StateTracer intervals={len(self._intervals)}>"

@@ -1,0 +1,89 @@
+"""Unit constants and conversion helpers.
+
+All simulated time in :mod:`repro` is expressed in **seconds** (floats) and
+all data sizes in **bytes** (ints).  These helpers keep call sites readable:
+``compute(5 * units.MS)``, ``message(40 * units.KB)``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS",
+    "US",
+    "MS",
+    "S",
+    "KB",
+    "MB",
+    "GB",
+    "GHZ",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "format_time",
+    "format_bytes",
+]
+
+# Time units (seconds).
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+S = 1.0
+
+# Data units (bytes).  The paper speaks of 1KB probe messages and 40KB
+# interference messages; binary units match MPI conventions.
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# Frequency unit (Hz).
+GHZ = 1e9
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count to seconds for a core at ``clock_hz``.
+
+    The CompressionB benchmark expresses its sleep parameter *B* in cycles
+    (paper §IV-C); Cab's cores run at 2.6 GHz.
+
+    Raises:
+        ValueError: if ``clock_hz`` is not positive or ``cycles`` is negative.
+    """
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    if cycles < 0:
+        raise ValueError(f"cycles must be non-negative, got {cycles}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Inverse of :func:`cycles_to_seconds`."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    return seconds * clock_hz
+
+
+def format_time(seconds: float) -> str:
+    """Render a duration with a human-friendly unit (ns/µs/ms/s)."""
+    if seconds < 0:
+        return "-" + format_time(-seconds)
+    if seconds < US:
+        return f"{seconds / NS:.1f}ns"
+    if seconds < MS:
+        return f"{seconds / US:.2f}µs"
+    if seconds < S:
+        return f"{seconds / MS:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def format_bytes(nbytes: int) -> str:
+    """Render a byte count with a human-friendly unit (B/KB/MB/GB)."""
+    if nbytes < 0:
+        return "-" + format_bytes(-nbytes)
+    if nbytes < KB:
+        return f"{nbytes}B"
+    if nbytes < MB:
+        return f"{nbytes / KB:.1f}KB"
+    if nbytes < GB:
+        return f"{nbytes / MB:.1f}MB"
+    return f"{nbytes / GB:.2f}GB"

@@ -1,0 +1,33 @@
+"""Workloads: the application skeletons and the active-measurement probes."""
+
+from .apps import AMG, FFTW, Lulesh, MCB, MILC, VPFFT
+from .base import Workload, cubic_rank_count, half_core_placement, looped
+from .patterns import (
+    balanced_grid,
+    grid_coords,
+    grid_rank,
+    halo_exchange,
+    torus_neighbors,
+)
+from .probes import CompressionB, CompressionConfig, ImpactB
+
+__all__ = [
+    "Workload",
+    "looped",
+    "half_core_placement",
+    "cubic_rank_count",
+    "balanced_grid",
+    "grid_coords",
+    "grid_rank",
+    "torus_neighbors",
+    "halo_exchange",
+    "ImpactB",
+    "CompressionB",
+    "CompressionConfig",
+    "AMG",
+    "FFTW",
+    "Lulesh",
+    "MCB",
+    "MILC",
+    "VPFFT",
+]

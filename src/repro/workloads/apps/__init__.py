@@ -1,0 +1,10 @@
+"""The six application skeletons the paper evaluates (§II)."""
+
+from .amg import AMG
+from .fftw import FFTW
+from .lulesh import Lulesh
+from .mcb import MCB
+from .milc import MILC
+from .vpfft import VPFFT
+
+__all__ = ["AMG", "FFTW", "Lulesh", "MCB", "MILC", "VPFFT"]

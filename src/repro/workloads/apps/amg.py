@@ -1,0 +1,86 @@
+"""AMG skeleton — algebraic multigrid solver (paper §II).
+
+"AMG carries out several iterations of an iterative solver over the same
+linear system at different levels of granularity ... it behaves like a CPU
+intensive benchmark when it operates over a dense representation and like a
+communication and memory bound application when it performs solver
+iterations over a sparse representation.  Thus, AMG runs will display very
+different phases."
+
+The phase structure is the point: AMG's *average* probe signature suggests
+moderate network use, but the use is concentrated in short sparse phases.
+This is exactly what breaks the queue model's constant-utilization
+assumption for the FFTW+AMG pairing (paper §V-B) — an effect this skeleton
+reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...errors import ConfigurationError
+from ...mpi import RankContext
+from ...units import KB, MS
+from ..base import Workload
+from ..patterns import balanced_grid, torus_neighbors
+
+__all__ = ["AMG"]
+
+
+class AMG(Workload):
+    """Multigrid V-cycle proxy alternating dense and sparse phases.
+
+    Args:
+        cycles: V-cycles per run.
+        dense_compute: smoother time on fine (dense) levels per cycle.
+        sparse_iterations: coarse-level solver iterations per cycle.
+        sparse_message_bytes: per-neighbour message size on coarse levels.
+        jitter: lognormal compute-noise shape.
+    """
+
+    name = "amg"
+
+    def __init__(
+        self,
+        cycles: int = 6,
+        dense_compute: float = 2.2 * MS,
+        sparse_iterations: int = 10,
+        sparse_message_bytes: int = 4 * KB,
+        jitter: float = 0.03,
+    ) -> None:
+        if cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+        if sparse_iterations < 1:
+            raise ConfigurationError(
+                f"sparse_iterations must be >= 1, got {sparse_iterations}"
+            )
+        if sparse_message_bytes < 1:
+            raise ConfigurationError(
+                f"sparse_message_bytes must be >= 1, got {sparse_message_bytes}"
+            )
+        self.cycles = cycles
+        self.dense_compute = dense_compute
+        self.sparse_iterations = sparse_iterations
+        self.sparse_message_bytes = sparse_message_bytes
+        self.jitter = jitter
+
+    def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
+        shape = balanced_grid(ctx.size, dims=3)
+        neighbors = torus_neighbors(ctx.rank, shape)
+        for _ in range(self.cycles):
+            # Fine levels: compute-bound smoothing (network nearly idle).
+            yield from ctx.compute(self.dense_compute, self.jitter)
+            # Coarse levels: bursts of small halo messages overlapped with
+            # short smoothing kernels (AMG hides most sparse-phase latency),
+            # then one convergence-check reduction per cycle.
+            requests = []
+            for _ in range(self.sparse_iterations):
+                for neighbor in neighbors:
+                    requests.append(ctx.comm.irecv(neighbor, tag=40))
+                    requests.append(
+                        ctx.comm.isend(neighbor, self.sparse_message_bytes, tag=40)
+                    )
+                yield from ctx.compute(100e-6, self.jitter)
+            yield from ctx.comm.waitall(requests)
+            yield from ctx.comm.allreduce(None, nbytes=8)
+        return None

@@ -1,0 +1,63 @@
+"""FFTW skeleton — transpose-dominated 2-D FFT (paper §II).
+
+"FFTW ... contain[s] expensive all-to-all communications ... [and] performs
+[little] computation between two communication phases."  Each iteration is a
+2-D transform: pack → alltoall (row/column transpose) → small twiddle
+compute → alltoall back → unpack.  Almost all of its time is all-to-all
+traffic, which is why it is the paper's most network-sensitive application
+(Fig. 7: >250% degradation at high switch utilization).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...errors import ConfigurationError
+from ...mpi import RankContext
+from ...units import MS
+from ..base import Workload
+
+__all__ = ["FFTW"]
+
+
+class FFTW(Workload):
+    """2-D FFT proxy: two all-to-alls per iteration, minimal compute.
+
+    Defaults reproduce the paper's 2000×2000 complex transform split over
+    144 ranks: each rank holds ~500 KB and sends ~bytes_per_pair to every
+    other rank per transpose.
+
+    Args:
+        iterations: transforms to perform per run.
+        bytes_per_pair: alltoall payload per rank pair.
+        pack_compute: local pack/twiddle time per phase (seconds).
+        jitter: lognormal compute-noise shape.
+    """
+
+    name = "fftw"
+
+    def __init__(
+        self,
+        iterations: int = 3,
+        bytes_per_pair: int = 2048,
+        pack_compute: float = 0.15 * MS,
+        jitter: float = 0.02,
+    ) -> None:
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        if bytes_per_pair < 1:
+            raise ConfigurationError(f"bytes_per_pair must be >= 1, got {bytes_per_pair}")
+        self.iterations = iterations
+        self.bytes_per_pair = bytes_per_pair
+        self.pack_compute = pack_compute
+        self.jitter = jitter
+
+    def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
+        for _ in range(self.iterations):
+            # Row FFTs + pack for transpose.
+            yield from ctx.compute(self.pack_compute, self.jitter)
+            yield from ctx.comm.alltoall(None, self.bytes_per_pair)
+            # Column FFTs (cheap relative to communication for FFTW).
+            yield from ctx.compute(self.pack_compute, self.jitter)
+            yield from ctx.comm.alltoall(None, self.bytes_per_pair)
+        return None

@@ -1,0 +1,73 @@
+"""Lulesh skeleton — Lagrangian shock hydrodynamics (paper §II).
+
+"Lulesh is a typical finite difference method code with local communication
+phases interleaved by intensive computation phases."  It requires a cubic
+number of processes (64 on Cab: 2 per socket on 16 nodes).  Each timestep is
+a face-neighbour halo exchange, a heavy element/node compute phase, and the
+global timestep-constraint allreduce.  Fig. 7 shows mild sensitivity: ~8%
+degradation at 50% utilization, ~15% at 92%.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...cluster import PerSocketPlacement, Placement
+from ...config import MachineConfig
+from ...errors import ConfigurationError
+from ...mpi import RankContext
+from ...units import KB, MS
+from ..base import Workload, cubic_rank_count
+from ..patterns import balanced_grid, halo_exchange, torus_neighbors
+
+__all__ = ["Lulesh"]
+
+
+class Lulesh(Workload):
+    """Explicit hydro proxy on a 3-D process grid.
+
+    Args:
+        iterations: timesteps per run.
+        face_bytes: per-face halo message size.
+        compute_per_iter: element+node kernel time per timestep.
+        jitter: lognormal compute-noise shape.
+    """
+
+    name = "lulesh"
+
+    def __init__(
+        self,
+        iterations: int = 25,
+        face_bytes: int = 8 * KB,
+        compute_per_iter: float = 0.85 * MS,
+        jitter: float = 0.02,
+    ) -> None:
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        if face_bytes < 1:
+            raise ConfigurationError(f"face_bytes must be >= 1, got {face_bytes}")
+        self.iterations = iterations
+        self.face_bytes = face_bytes
+        self.compute_per_iter = compute_per_iter
+        self.jitter = jitter
+
+    def preferred_placement(self, config: MachineConfig) -> Placement:
+        """Largest cubic rank count that fits half the cores.
+
+        On Cab this reproduces the paper exactly: 4³ = 64 ranks as 2 per
+        socket on 16 of the 18 nodes.
+        """
+        _, ranks_per_socket, node_count = cubic_rank_count(config)
+        return PerSocketPlacement(ranks_per_socket, node_count)
+
+    def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
+        shape = balanced_grid(ctx.size, dims=3)
+        neighbors = torus_neighbors(ctx.rank, shape)
+        for _ in range(self.iterations):
+            # Nodal/positional halo exchange with face neighbours.
+            yield from halo_exchange(ctx, neighbors, self.face_bytes, tag=20)
+            # Stress, hourglass, and equation-of-state kernels dominate.
+            yield from ctx.compute(self.compute_per_iter, self.jitter)
+            # Courant/hydro timestep constraint: one global min-reduction.
+            yield from ctx.comm.allreduce(None, nbytes=8)
+        return None

@@ -1,0 +1,60 @@
+"""VPFFT skeleton — crystal-plasticity FFT solver (paper §II).
+
+Like FFTW it is built around expensive all-to-alls, but "VPFFT performs
+expensive computation between two communication phases", giving it some
+slack to absorb network slowdown — yet not enough to escape >250%
+degradation at very high switch utilization (Fig. 7), with visibly noisier
+behaviour than FFTW.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ...errors import ConfigurationError
+from ...mpi import RankContext
+from ...units import MS
+from ..base import Workload
+
+__all__ = ["VPFFT"]
+
+
+class VPFFT(Workload):
+    """FFT-based micromechanics proxy: compute / alltoall / compute / alltoall.
+
+    Args:
+        iterations: solver iterations per run.
+        bytes_per_pair: alltoall payload per rank pair.
+        stress_compute: constitutive-update compute per phase (seconds) —
+            the "expensive computation" between transforms.
+        jitter: lognormal compute-noise shape (VPFFT's larger default makes
+            its degradation curve oscillate, as observed in the paper).
+    """
+
+    name = "vpfft"
+
+    def __init__(
+        self,
+        iterations: int = 2,
+        bytes_per_pair: int = 4096,
+        stress_compute: float = 0.8 * MS,
+        jitter: float = 0.08,
+    ) -> None:
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        if bytes_per_pair < 1:
+            raise ConfigurationError(f"bytes_per_pair must be >= 1, got {bytes_per_pair}")
+        self.iterations = iterations
+        self.bytes_per_pair = bytes_per_pair
+        self.stress_compute = stress_compute
+        self.jitter = jitter
+
+    def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
+        for _ in range(self.iterations):
+            # Constitutive model evaluation in real space.
+            yield from ctx.compute(self.stress_compute, self.jitter)
+            yield from ctx.comm.alltoall(None, self.bytes_per_pair)
+            # Green's-operator application in Fourier space.
+            yield from ctx.compute(self.stress_compute, self.jitter)
+            yield from ctx.comm.alltoall(None, self.bytes_per_pair)
+        return None

@@ -1,0 +1,93 @@
+"""Workload abstraction.
+
+A :class:`Workload` produces one coroutine per rank via :meth:`build` and
+declares its preferred process placement (the paper is explicit about these:
+probes get one process per socket, applications fill half the cores).
+Workloads are stateless descriptions — the same object can be launched on
+many machines — so they are cheap to construct and safe to share.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, Optional
+
+from ..cluster import PerSocketPlacement, Placement
+from ..config import MachineConfig
+from ..errors import ConfigurationError
+from ..mpi import RankContext
+
+__all__ = ["Workload", "looped", "half_core_placement", "cubic_rank_count"]
+
+
+class Workload(ABC):
+    """A per-rank program: ``build(ctx)`` yields the rank's coroutine."""
+
+    #: Short identifier used in registries, stream names, and reports.
+    name: str = "workload"
+
+    @abstractmethod
+    def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
+        """Return the coroutine for rank ``ctx.rank``."""
+
+    def preferred_placement(self, config: MachineConfig) -> Placement:
+        """Default placement on a machine (paper: half the cores per socket)."""
+        return half_core_placement(config)
+
+    def __call__(self, ctx: RankContext) -> Generator[Any, Any, Any]:
+        return self.build(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def half_core_placement(config: MachineConfig) -> Placement:
+    """The paper's application layout: half of each socket's cores, all nodes
+    (4 processes/socket on Cab's 8-core sockets)."""
+    per_socket = max(1, config.node.cores_per_socket // 2)
+    return PerSocketPlacement(per_socket)
+
+
+def cubic_rank_count(config: MachineConfig, max_ranks_per_socket: Optional[int] = None):
+    """Largest (k³ ranks, ranks/socket, nodes) layout that fits the machine.
+
+    Lulesh requires a cubic process count; on Cab this resolves to 64 ranks as
+    2/socket on 16 nodes, exactly the paper's configuration.
+
+    Returns:
+        (k, ranks_per_socket, node_count) with k³ total ranks.
+    """
+    if max_ranks_per_socket is None:
+        max_ranks_per_socket = max(1, config.node.cores_per_socket // 2)
+    sockets = config.node.sockets
+    best: Optional[tuple] = None
+    upper = config.node_count * sockets * max_ranks_per_socket
+    for k in range(int(round(upper ** (1.0 / 3.0))) + 1, 0, -1):
+        total = k**3
+        if total > upper:
+            continue
+        # Need ranks_per_socket * sockets * nodes == total with integer parts.
+        # Prefer spreading wide (fewest ranks per socket) — the paper ran
+        # Lulesh as 2/socket on 16 nodes rather than 4/socket on 8.
+        for ranks_per_socket in range(1, max_ranks_per_socket + 1):
+            per_node = ranks_per_socket * sockets
+            if total % per_node == 0 and total // per_node <= config.node_count:
+                return (k, ranks_per_socket, total // per_node)
+    raise ConfigurationError(
+        f"no cubic layout fits machine with {upper} available slots"
+    )
+
+
+def looped(workload: Workload):
+    """Wrap a finite workload so every rank repeats it forever.
+
+    Used for co-run interference jobs: the paper runs each benchmark "in
+    continuous loops" so the measured application never sees an idle switch
+    tail.  The wrapper is a plain factory suitable for ``MPIWorld.launch``.
+    """
+
+    def factory(ctx: RankContext):
+        while True:
+            yield from workload.build(ctx)
+
+    return factory

@@ -1,0 +1,108 @@
+"""Reusable communication patterns for application skeletons.
+
+Grid decompositions and halo exchanges shared by the stencil-style
+applications (Lulesh, MILC, AMG).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..mpi import RankContext
+
+__all__ = [
+    "balanced_grid",
+    "grid_coords",
+    "grid_rank",
+    "torus_neighbors",
+    "halo_exchange",
+]
+
+
+def balanced_grid(size: int, dims: int) -> Tuple[int, ...]:
+    """Factor ``size`` into ``dims`` near-equal factors (descending).
+
+    Used to build process grids for stencil codes: 144 → (4, 6, 6) in 3-D,
+    (2, 2, 6, 6) in 4-D; 64 → (4, 4, 4).
+
+    Raises:
+        ConfigurationError: if inputs are not positive.
+    """
+    if size < 1 or dims < 1:
+        raise ConfigurationError(f"invalid grid request: size={size}, dims={dims}")
+    factors = [1] * dims
+    remaining = size
+    # Greedy: repeatedly pull the largest prime factor onto the smallest axis.
+    primes: List[int] = []
+    n = remaining
+    p = 2
+    while p * p <= n:
+        while n % p == 0:
+            primes.append(p)
+            n //= p
+        p += 1
+    if n > 1:
+        primes.append(n)
+    for prime in sorted(primes, reverse=True):
+        smallest = min(range(dims), key=lambda i: factors[i])
+        factors[smallest] *= prime
+    return tuple(sorted(factors, reverse=True))
+
+
+def grid_coords(rank: int, shape: Sequence[int]) -> Tuple[int, ...]:
+    """Row-major coordinates of ``rank`` in a process grid."""
+    coords = []
+    remainder = rank
+    for extent in reversed(shape):
+        coords.append(remainder % extent)
+        remainder //= extent
+    if remainder:
+        raise ConfigurationError(f"rank {rank} outside grid {tuple(shape)}")
+    return tuple(reversed(coords))
+
+
+def grid_rank(coords: Sequence[int], shape: Sequence[int]) -> int:
+    """Inverse of :func:`grid_coords`."""
+    rank = 0
+    for coordinate, extent in zip(coords, shape):
+        if not 0 <= coordinate < extent:
+            raise ConfigurationError(f"coordinate {coords} outside grid {tuple(shape)}")
+        rank = rank * extent + coordinate
+    return rank
+
+
+def torus_neighbors(rank: int, shape: Sequence[int]) -> List[int]:
+    """±1 neighbours along every axis with periodic wrap, deduplicated.
+
+    A rank is never its own neighbour (degenerate axes of extent 1 or 2 are
+    handled by dedup).
+    """
+    coords = grid_coords(rank, shape)
+    neighbors: List[int] = []
+    for axis, extent in enumerate(shape):
+        if extent == 1:
+            continue
+        for step in (-1, 1):
+            shifted = list(coords)
+            shifted[axis] = (coords[axis] + step) % extent
+            neighbor = grid_rank(shifted, shape)
+            if neighbor != rank and neighbor not in neighbors:
+                neighbors.append(neighbor)
+    return neighbors
+
+
+def halo_exchange(
+    ctx: RankContext,
+    neighbors: Sequence[int],
+    nbytes: int,
+    tag: int,
+) -> Generator[Any, Any, None]:
+    """Exchange ``nbytes`` with every neighbour concurrently (irecv+isend+waitall).
+
+    The symmetric pattern of stencil codes: all transfers are in flight at
+    once, so the fabric sees a burst rather than a sequential trickle.
+    """
+    requests = [ctx.comm.irecv(neighbor, tag) for neighbor in neighbors]
+    requests += [ctx.comm.isend(neighbor, nbytes, tag) for neighbor in neighbors]
+    yield from ctx.comm.waitall(requests)

@@ -1,0 +1,6 @@
+"""The paper's two active-measurement micro-benchmarks."""
+
+from .compressionb import CompressionB, CompressionConfig
+from .impactb import ImpactB
+
+__all__ = ["ImpactB", "CompressionB", "CompressionConfig"]

@@ -1,0 +1,147 @@
+"""CompressionB — the configurable interference benchmark (paper Fig. 5).
+
+Processes with the same local index on different nodes form a 1-D ring.  In
+each round, every process exchanges M messages of 40 KB with each of its P
+nearest ring predecessors/successors (receiving from successors, sending to
+predecessors), then sleeps B cycles, waits for everything to complete, and
+repeats forever.
+
+Note on sleep placement: the paper's pseudo-code (Fig. 5) shows ``usleep(B)``
+inside the partner loop, but the prose says "After M messages have been sent
+in this way, the benchmark sleeps for B cycles, waits for all ... and
+repeats".  We follow the prose — one sleep per round — because only that
+reading produces Fig. 6's reported trends (utilization *rising with partner
+count*, strongest at long sleeps): with a sleep per partner, both active and
+idle time scale with P and the P-dependence vanishes.
+
+Different (P, M, B) settings remove different fractions of switch capability
+— the x-axis of the paper's Figs. 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List
+
+from ...cluster import PerSocketPlacement, Placement
+from ...config import MachineConfig
+from ...errors import ConfigurationError
+from ...mpi import RankContext, Request
+from ...units import KB, US
+from ..base import Workload
+
+__all__ = ["CompressionConfig", "CompressionB"]
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """One CompressionB setting.
+
+    Attributes:
+        partners: P — ring partners on each side (paper: 1, 4, 7, 14, 17).
+        messages: M — messages per partner per round (paper: 1 or 10).
+        sleep_cycles: B — cycles slept per round
+            (paper: 2.5e4 … 2.5e7 at 2.6 GHz).
+        message_bytes: paper: 40 KB.
+    """
+
+    partners: int
+    messages: int
+    sleep_cycles: float
+    message_bytes: int = 40 * KB
+
+    def __post_init__(self) -> None:
+        if self.partners < 1:
+            raise ConfigurationError(f"partners must be >= 1, got {self.partners}")
+        if self.messages < 1:
+            raise ConfigurationError(f"messages must be >= 1, got {self.messages}")
+        if self.sleep_cycles < 0:
+            raise ConfigurationError(
+                f"sleep_cycles must be non-negative, got {self.sleep_cycles}"
+            )
+        if self.message_bytes <= 0:
+            raise ConfigurationError(
+                f"message_bytes must be positive, got {self.message_bytes}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact id, e.g. ``P7xM10xB2.5e+06``."""
+        return f"P{self.partners}xM{self.messages}xB{self.sleep_cycles:.1e}"
+
+
+class CompressionB(Workload):
+    """The interference generator.
+
+    Args:
+        config: the (P, M, B) setting.
+        tag_base: base tag (distinct per concurrently-running instance).
+        post_overhead: CPU time per posted message pair — the MPI software
+            cost of MPI_Irecv+MPI_Isend for a 40 KB message (matching, buffer
+            management, copies).  The 16 µs default is calibrated so the
+            heaviest paper configs top out near the paper's 92% utilization
+            ceiling instead of saturating the switch.
+    """
+
+    name = "compressionb"
+
+    def __init__(
+        self,
+        config: CompressionConfig,
+        tag_base: int = 100,
+        post_overhead: float = 16.0 * US,
+    ) -> None:
+        if post_overhead < 0:
+            raise ConfigurationError(
+                f"post_overhead must be non-negative, got {post_overhead}"
+            )
+        self.config = config
+        self.tag_base = tag_base
+        self.post_overhead = post_overhead
+
+    def preferred_placement(self, config: MachineConfig) -> Placement:
+        """One interference process per socket (2 per node on Cab)."""
+        return PerSocketPlacement(1)
+
+    # ------------------------------------------------------------------
+    def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
+        ring = self._ring(ctx)
+        position = ring.index(ctx.rank)
+        length = len(ring)
+        partners = min(self.config.partners, length - 1)
+        if partners < 1:
+            # Degenerate ring (single node): nothing to exchange.
+            while True:
+                yield from ctx.sleep_cycles(max(self.config.sleep_cycles, 1.0))
+
+        while True:
+            outstanding: List[Request] = []
+            for partner in range(partners):
+                offset = partner + 1
+                predecessor = ring[(position - offset) % length]
+                successor = ring[(position + offset) % length]
+                tag = self.tag_base + ctx.local_index * 64 + partner
+                for _ in range(self.config.messages):
+                    outstanding.append(ctx.comm.irecv(successor, tag))
+                    outstanding.append(
+                        ctx.comm.isend(predecessor, self.config.message_bytes, tag)
+                    )
+                    if self.post_overhead > 0:
+                        yield from ctx.compute(self.post_overhead)
+            if self.config.sleep_cycles > 0:
+                yield from ctx.sleep_cycles(self.config.sleep_cycles)
+            yield from ctx.comm.waitall(outstanding)
+
+    # ------------------------------------------------------------------
+    def _ring(self, ctx: RankContext) -> List[int]:
+        """Ranks with this rank's local index, ordered by node id.
+
+        "processes running on the same core ID on different nodes are
+        organized in a 1-dimensional communication ring" (§III-B).
+        """
+        members: List[int] = []
+        for node_id in ctx.world.node_ids:
+            ranks = ctx.world.ranks_on_node(node_id)
+            if ctx.local_index < len(ranks):
+                members.append(ranks[ctx.local_index])
+        return members

@@ -1,0 +1,129 @@
+"""ImpactB — the light-weight latency probe (paper Fig. 2).
+
+Nodes on the switch are paired; on each pair, probe ranks with the same
+local index run a ping-pong: the rank on the even-position node sends a 1 KB
+message, its partner receives and replies, and the initiator records half
+the round-trip as one packet-latency sample.  Exchanges are separated by a
+long sleep (100 ms in the paper; scaled down here) so the probe's own load
+is negligible.
+
+The probe runs forever (a daemon job); the experiment decides when to stop
+simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ...cluster import PerSocketPlacement, Placement
+from ...config import MachineConfig
+from ...core.measurement import LatencyCollector
+from ...errors import ConfigurationError
+from ...mpi import RankContext
+from ...units import KB, MS
+from ..base import Workload
+
+__all__ = ["ImpactB"]
+
+
+class ImpactB(Workload):
+    """The latency probe.
+
+    Args:
+        collector: shared sink for latency samples.
+        message_bytes: probe message size (paper: 1 KB — a single packet).
+        interval: mean sleep between exchanges (paper: 100 ms; default here
+            is the scaled 1 ms — see ``Scale`` in repro.config).
+        jitter: if True (default), each sleep is drawn uniformly from
+            [0.5, 1.5]·interval.  De-phases the probe from periodic
+            application traffic, approximating Poisson sampling of the queue
+            (the PASTA property behind the P–K inversion).
+        warmup: initial random offset in [0, interval) before the first
+            exchange, so probe pairs do not fire in lockstep.
+    """
+
+    name = "impactb"
+
+    def __init__(
+        self,
+        collector: LatencyCollector,
+        message_bytes: int = 1 * KB,
+        interval: float = 1.0 * MS,
+        jitter: bool = True,
+        warmup: bool = True,
+    ) -> None:
+        if message_bytes <= 0:
+            raise ConfigurationError(f"message_bytes must be positive, got {message_bytes}")
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        self.collector = collector
+        self.message_bytes = message_bytes
+        self.interval = interval
+        self.jitter = jitter
+        self.warmup = warmup
+
+    def preferred_placement(self, config: MachineConfig) -> Placement:
+        """One probe process per socket (2 per node on Cab)."""
+        return PerSocketPlacement(1)
+
+    # ------------------------------------------------------------------
+    def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
+        partner = self._partner_rank(ctx)
+        if partner is None:
+            # Unpaired node (odd node count): idle forever.
+            while True:
+                yield from ctx.sleep(self.interval)
+
+        initiator = self._is_initiator(ctx)
+        tag = 1 + ctx.local_index  # probe rings on different sockets stay apart
+        if self.warmup and initiator:
+            # Only initiators stagger: a sleeping responder would inflate the
+            # first sample with its own warm-up delay.
+            yield from ctx.sleep(float(ctx.rng.uniform(0.0, self.interval)))
+        while True:
+            if initiator:
+                start = ctx.now
+                yield from ctx.comm.send(partner, self.message_bytes, tag)
+                yield from ctx.comm.recv(partner, tag)
+                # Half the round trip = the average one-way packet latency.
+                self.collector.record(ctx.now, (ctx.now - start) / 2.0, ctx.rank)
+            else:
+                yield from ctx.comm.recv(partner, tag)
+                yield from ctx.comm.send(partner, self.message_bytes, tag)
+            sleep = self.interval
+            if self.jitter:
+                sleep *= float(ctx.rng.uniform(0.5, 1.5))
+            if initiator:
+                yield from ctx.sleep(sleep)
+            # The responder does not sleep: it must be ready for the next ping.
+
+    # ------------------------------------------------------------------
+    def _node_position(self, ctx: RankContext) -> int:
+        """Position of this rank's node in the world's sorted node list."""
+        return ctx.world.node_ids.index(ctx.node_id)
+
+    def _is_initiator(self, ctx: RankContext) -> bool:
+        return self._node_position(ctx) % 2 == 0
+
+    def _partner_rank(self, ctx: RankContext) -> Optional[int]:
+        """The probe rank with the same local index on the paired node.
+
+        Even-position nodes pair with the next node (paper's
+        ``my_rank + tasks_per_node``); the last node of an odd-sized world is
+        left unpaired.
+        """
+        node_ids = ctx.world.node_ids
+        position = self._node_position(ctx)
+        if position % 2 == 0:
+            if position + 1 >= len(node_ids):
+                return None
+            partner_node = node_ids[position + 1]
+        else:
+            partner_node = node_ids[position - 1]
+        partners = ctx.world.ranks_on_node(partner_node)
+        local = ctx.local_index
+        if local >= len(partners):
+            return None
+        return partners[local]

@@ -1,0 +1,51 @@
+"""Tests for degradation-trend fitting (Fig. 7 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_degradation_trend, sensitivity_ranking
+from repro.errors import ExperimentError
+
+
+def test_exact_line_recovered():
+    points = [(x, 2.0 * x + 1.0) for x in (0.1, 0.3, 0.5, 0.9)]
+    fit = fit_degradation_trend(points)
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.predict(0.5) == pytest.approx(2.0)
+
+
+def test_noisy_line_reasonable_fit():
+    rng = np.random.default_rng(0)
+    points = [(x, 100 * x + rng.normal(0, 2)) for x in np.linspace(0.2, 0.9, 30)]
+    fit = fit_degradation_trend(points)
+    assert fit.slope == pytest.approx(100, rel=0.1)
+    assert fit.r_squared > 0.9
+
+
+def test_too_few_points_raises():
+    with pytest.raises(ExperimentError):
+        fit_degradation_trend([(0.5, 1.0)])
+
+
+def test_degenerate_x_raises():
+    with pytest.raises(ExperimentError):
+        fit_degradation_trend([(0.5, 1.0), (0.5, 2.0)])
+
+
+def test_flat_curve_r_squared_is_one():
+    fit = fit_degradation_trend([(0.1, 3.0), (0.5, 3.0), (0.9, 3.0)])
+    assert fit.slope == pytest.approx(0.0, abs=1e-9)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_sensitivity_ranking_orders_by_slope():
+    curves = {
+        "fftw": [(0.2, 40.0), (0.8, 250.0)],
+        "mcb": [(0.2, 0.5), (0.8, 2.0)],
+        "milc": [(0.2, 15.0), (0.8, 90.0)],
+    }
+    ranking = sensitivity_ranking(curves)
+    assert [name for name, _slope in ranking] == ["fftw", "milc", "mcb"]
+    assert ranking[0][1] > ranking[1][1] > ranking[2][1]

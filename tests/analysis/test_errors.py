@@ -1,0 +1,63 @@
+"""Tests for error statistics (Figs. 8-9 machinery)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import absolute_errors, fraction_within, summarize_errors
+from repro.errors import ExperimentError
+
+
+def test_absolute_errors_basic():
+    measured = {("a", "b"): 10.0, ("b", "a"): 5.0}
+    predicted = {("a", "b"): 12.5, ("b", "a"): 1.0}
+    errors = absolute_errors(measured, predicted)
+    assert errors[("a", "b")] == pytest.approx(2.5)
+    assert errors[("b", "a")] == pytest.approx(4.0)
+
+
+def test_absolute_errors_missing_prediction_raises():
+    with pytest.raises(ExperimentError, match="missing"):
+        absolute_errors({("a", "b"): 1.0}, {})
+
+
+def test_summarize_errors_quartiles():
+    summary = summarize_errors([0.0, 10.0, 20.0, 30.0, 40.0])
+    assert summary.minimum == 0.0
+    assert summary.median == 20.0
+    assert summary.maximum == 40.0
+    assert summary.mean == 20.0
+    assert summary.q1 == 10.0
+    assert summary.q3 == 30.0
+    assert summary.iqr == 20.0
+    assert summary.count == 5
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ExperimentError):
+        summarize_errors([])
+
+
+def test_summarize_negative_raises():
+    with pytest.raises(ExperimentError):
+        summarize_errors([1.0, -0.5])
+
+
+def test_fraction_within():
+    errors = [1.0, 5.0, 9.0, 15.0]
+    assert fraction_within(errors, 10.0) == pytest.approx(0.75)
+    assert fraction_within(errors, 0.5) == 0.0
+    assert fraction_within(errors, 100.0) == 1.0
+
+
+def test_fraction_within_empty_raises():
+    with pytest.raises(ExperimentError):
+        fraction_within([], 1.0)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=100))
+def test_property_summary_ordering(errors):
+    summary = summarize_errors(errors)
+    assert summary.minimum <= summary.q1 <= summary.median <= summary.q3 <= summary.maximum
+    # The mean can drift 1 ulp below the minimum when all values are equal.
+    tolerance = 1e-12 * max(1.0, summary.maximum)
+    assert summary.minimum - tolerance <= summary.mean <= summary.maximum + tolerance

@@ -1,0 +1,56 @@
+"""Tests for the full-report assembler."""
+
+import pytest
+
+from repro.analysis import degradation_curves, full_report
+from repro.cluster import small_test_config
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.units import MS
+from repro.workloads import FFTW, MCB, CompressionConfig
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick",
+            impact_duration=0.01,
+            signature_duration=0.01,
+            calibration_duration=0.02,
+            probe_interval=0.1 * MS,
+        ),
+        machine_config=small_test_config(),
+        applications={
+            "fftw": FFTW(iterations=1, pack_compute=5e-5),
+            "mcb": MCB(iterations=2, track_compute=2e-4),
+        },
+        catalog=[
+            CompressionConfig(1, 1, 2.5e6),
+            CompressionConfig(2, 1, 2.5e5),
+            CompressionConfig(3, 10, 2.5e4),
+        ],
+    )
+
+
+def test_degradation_curves_shape(pipeline):
+    curves = degradation_curves(pipeline)
+    assert set(curves) == {"fftw", "mcb"}
+    assert all(len(points) == 3 for points in curves.values())
+    for points in curves.values():
+        for utilization, degradation in points:
+            assert 0.0 <= utilization < 1.0
+
+
+def test_full_report_contains_all_sections(pipeline):
+    text = full_report(pipeline)
+    assert "Table I" in text
+    assert "Fig. 6" in text
+    assert "Fig. 7" in text
+    assert "Fig. 9" in text
+    assert "fraction of errors" in text
+    # Both apps appear in the sensitivity ranking.
+    assert "fftw" in text and "mcb" in text
+
+
+def test_full_report_is_deterministic(pipeline):
+    assert full_report(pipeline) == full_report(pipeline)

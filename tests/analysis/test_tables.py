@@ -1,0 +1,85 @@
+"""Tests for ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    render_fig6,
+    render_fig7_series,
+    render_fig8,
+    render_fig9,
+    render_histogram,
+    render_table1,
+    summarize_errors,
+)
+from repro.errors import ExperimentError
+
+
+def test_render_table1_contains_all_cells():
+    names = ["fftw", "mcb"]
+    values = {
+        ("fftw", "fftw"): 45.0,
+        ("fftw", "mcb"): 3.0,
+        ("mcb", "fftw"): 2.0,
+        ("mcb", "mcb"): 4.0,
+    }
+    text = render_table1(names, values)
+    assert "Table I" in text
+    assert "45.0" in text and "3.0" in text
+    assert text.count("\n") == 3  # title + header + 2 rows
+
+
+def test_render_matrix_missing_cell_shows_dash():
+    from repro.analysis import render_matrix
+
+    text = render_matrix(["a"], ["x", "y"], {("a", "x"): 1.0})
+    assert "-" in text
+
+
+def test_render_fig6_sorted_ascending():
+    text = render_fig6({"heavy": 0.9, "light": 0.1})
+    light_pos = text.index("light")
+    heavy_pos = text.index("heavy")
+    assert light_pos < heavy_pos
+    assert "90.0%" in text and "10.0%" in text
+
+
+def test_render_fig7_series():
+    text = render_fig7_series({"fftw": [(0.5, 50.0), (0.2, 10.0)]})
+    assert "fftw" in text
+    # Points are sorted by utilization.
+    assert text.index("(20%") < text.index("(50%")
+
+
+def test_render_fig8():
+    errors = {
+        "AverageLT": {("a", "a"): 1.0, ("a", "b"): 2.0, ("b", "a"): 3.0, ("b", "b"): 4.0},
+        "Queue": {("a", "a"): 0.5, ("a", "b"): 0.6, ("b", "a"): 0.7, ("b", "b"): 0.8},
+    }
+    text = render_fig8(errors, ["a", "b"])
+    assert "AverageLT" in text and "Queue" in text
+    assert "a | b" in text
+
+
+def test_render_fig8_empty_raises():
+    with pytest.raises(ExperimentError):
+        render_fig8({}, ["a"])
+
+
+def test_render_fig9():
+    summaries = {"Queue": summarize_errors([1.0, 2.0, 3.0, 4.0])}
+    text = render_fig9(summaries)
+    assert "Queue" in text
+    assert "median" in text
+
+
+def test_render_histogram():
+    text = render_histogram([0.5, 0.3, 0.2], np.array([0, 1e-6, 2e-6, 3e-6]), title="idle")
+    assert "idle" in text
+    assert "50.0%" in text
+    assert "#" in text
+
+
+def test_render_histogram_edge_mismatch_raises():
+    with pytest.raises(ExperimentError):
+        render_histogram([0.5], np.array([0.0, 1.0, 2.0]))

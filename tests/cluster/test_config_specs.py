@@ -1,0 +1,105 @@
+"""Tests for configuration dataclasses and named machine specs."""
+
+import pytest
+
+from repro.cluster import cab_config, small_test_config
+from repro.config import MachineConfig, NetworkConfig, NodeConfig, Scale
+from repro.errors import ConfigurationError
+from repro.units import GB, US
+
+
+# ----------------------------------------------------------------------
+# NetworkConfig
+# ----------------------------------------------------------------------
+def test_network_defaults_are_cab_like():
+    config = NetworkConfig()
+    assert config.link_bandwidth == pytest.approx(5 * GB)
+    assert config.switch_mode == "output_queued"
+    assert config.mtu >= 1024
+
+
+def test_network_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(link_bandwidth=0)
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(link_latency=-1e-9)
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(mtu=0)
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(switch_mode="magic")
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(fabric_servers=0)
+    with pytest.raises(ConfigurationError):
+        NetworkConfig(local_bandwidth=-1)
+
+
+# ----------------------------------------------------------------------
+# NodeConfig / MachineConfig
+# ----------------------------------------------------------------------
+def test_node_cores_property():
+    node = NodeConfig(sockets=2, cores_per_socket=8)
+    assert node.cores == 16
+
+
+def test_node_validation():
+    with pytest.raises(ConfigurationError):
+        NodeConfig(sockets=0)
+    with pytest.raises(ConfigurationError):
+        NodeConfig(clock_hz=0)
+
+
+def test_machine_totals_and_seed():
+    config = MachineConfig(node_count=4)
+    assert config.total_cores == 4 * config.node.cores
+    reseeded = config.with_seed(99)
+    assert reseeded.seed == 99
+    assert reseeded.node_count == config.node_count
+
+
+def test_machine_validation():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(node_count=0)
+
+
+# ----------------------------------------------------------------------
+# Scale
+# ----------------------------------------------------------------------
+def test_scale_period_and_iterations():
+    scale = Scale(time_factor=0.01, work_factor=0.5)
+    assert scale.period(0.1) == pytest.approx(1e-3)
+    assert scale.iterations(10) == 5
+    assert scale.iterations(1) == 1  # never below one
+
+
+def test_scale_validation():
+    with pytest.raises(ConfigurationError):
+        Scale(time_factor=0)
+    with pytest.raises(ConfigurationError):
+        Scale(work_factor=-1)
+    with pytest.raises(ConfigurationError):
+        Scale().period(-1.0)
+    with pytest.raises(ConfigurationError):
+        Scale().iterations(0)
+
+
+# ----------------------------------------------------------------------
+# Named specs
+# ----------------------------------------------------------------------
+def test_cab_config_matches_paper():
+    config = cab_config()
+    assert config.node_count == 18
+    assert config.node.sockets == 2
+    assert config.node.cores_per_socket == 8
+    assert config.node.clock_hz == pytest.approx(2.6e9)
+    assert config.network.link_bandwidth == pytest.approx(5 * GB)
+
+
+def test_cab_config_seed_and_node_overrides():
+    config = cab_config(seed=5, node_count=6)
+    assert config.seed == 5
+    assert config.node_count == 6
+
+
+def test_small_test_config_is_small():
+    config = small_test_config()
+    assert config.total_cores <= 32

@@ -1,0 +1,173 @@
+"""Tests for nodes, cores, and placement policies."""
+
+import pytest
+
+from repro.cluster import (
+    BlockPlacement,
+    ExplicitPlacement,
+    Machine,
+    PerSocketPlacement,
+    RoundRobinPlacement,
+    small_test_config,
+)
+from repro.cluster.node import Core, Node
+from repro.config import NodeConfig
+from repro.errors import ConfigurationError
+
+
+def _node(node_id=0, sockets=2, cores=4):
+    return Node(node_id, NodeConfig(sockets=sockets, cores_per_socket=cores))
+
+
+# ----------------------------------------------------------------------
+# Node / Core
+# ----------------------------------------------------------------------
+def test_node_core_layout():
+    node = _node(cores=3)
+    assert len(node.cores) == 6
+    assert node.cores[0] == Core(0, 0, 0)
+    assert node.cores[3] == Core(0, 1, 0)
+
+
+def test_allocate_and_release():
+    node = _node()
+    core = node.cores[0]
+    node.allocate(core, "job1")
+    assert node.occupant(core) == "job1"
+    assert core not in node.free_cores
+    node.release(core)
+    assert node.occupant(core) is None
+
+
+def test_double_allocate_rejected():
+    node = _node()
+    core = node.cores[0]
+    node.allocate(core, "a")
+    with pytest.raises(ConfigurationError, match="occupied"):
+        node.allocate(core, "b")
+
+
+def test_release_unallocated_rejected():
+    node = _node()
+    with pytest.raises(ConfigurationError):
+        node.release(node.cores[0])
+
+
+def test_free_cores_on_socket():
+    node = _node(sockets=2, cores=2)
+    node.allocate(Core(0, 0, 0), "x")
+    assert node.free_cores_on_socket(0) == [Core(0, 0, 1)]
+    assert len(node.free_cores_on_socket(1)) == 2
+    with pytest.raises(ConfigurationError):
+        node.free_cores_on_socket(5)
+
+
+# ----------------------------------------------------------------------
+# Placements
+# ----------------------------------------------------------------------
+def _nodes(count=3, sockets=2, cores=2):
+    return [Node(i, NodeConfig(sockets=sockets, cores_per_socket=cores)) for i in range(count)]
+
+
+def test_per_socket_placement_rank_order_is_node_major():
+    nodes = _nodes(2)
+    cores = PerSocketPlacement(1).select(nodes)
+    assert [(c.node_id, c.socket) for c in cores] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_per_socket_placement_limited_nodes():
+    nodes = _nodes(3)
+    cores = PerSocketPlacement(1, node_count=2).select(nodes)
+    assert {c.node_id for c in cores} == {0, 1}
+
+
+def test_per_socket_placement_skips_occupied():
+    nodes = _nodes(1)
+    nodes[0].allocate(Core(0, 0, 0), "other")
+    cores = PerSocketPlacement(1).select(nodes)
+    assert cores[0] == Core(0, 0, 1)
+
+
+def test_per_socket_placement_insufficient_cores():
+    nodes = _nodes(1, cores=1)
+    with pytest.raises(ConfigurationError, match="free"):
+        PerSocketPlacement(2).select(nodes)
+
+
+def test_per_socket_placement_too_many_nodes():
+    with pytest.raises(ConfigurationError, match="nodes"):
+        PerSocketPlacement(1, node_count=5).select(_nodes(3))
+
+
+def test_block_placement_fills_first_node_first():
+    cores = BlockPlacement(5).select(_nodes(2))
+    assert [c.node_id for c in cores] == [0, 0, 0, 0, 1]
+
+
+def test_block_placement_exhausted():
+    with pytest.raises(ConfigurationError):
+        BlockPlacement(100).select(_nodes(2))
+
+
+def test_round_robin_placement_deals_across_nodes():
+    cores = RoundRobinPlacement(4).select(_nodes(2))
+    assert [c.node_id for c in cores] == [0, 1, 0, 1]
+
+
+def test_round_robin_exhausted():
+    with pytest.raises(ConfigurationError):
+        RoundRobinPlacement(100).select(_nodes(2))
+
+
+def test_explicit_placement_roundtrip():
+    nodes = _nodes(1)
+    wanted = [Core(0, 1, 1), Core(0, 0, 0)]
+    assert ExplicitPlacement(wanted).select(nodes) == wanted
+
+
+def test_explicit_placement_rejects_unknown_node():
+    with pytest.raises(ConfigurationError, match="unknown node"):
+        ExplicitPlacement([Core(9, 0, 0)]).select(_nodes(1))
+
+
+def test_explicit_placement_rejects_occupied():
+    nodes = _nodes(1)
+    nodes[0].allocate(Core(0, 0, 0), "x")
+    with pytest.raises(ConfigurationError, match="occupied"):
+        ExplicitPlacement([Core(0, 0, 0)]).select(nodes)
+
+
+def test_placement_validation():
+    with pytest.raises(ConfigurationError):
+        PerSocketPlacement(0)
+    with pytest.raises(ConfigurationError):
+        BlockPlacement(0)
+    with pytest.raises(ConfigurationError):
+        RoundRobinPlacement(0)
+    with pytest.raises(ConfigurationError):
+        ExplicitPlacement([])
+
+
+# ----------------------------------------------------------------------
+# Machine
+# ----------------------------------------------------------------------
+def test_machine_allocate_tracks_occupancy():
+    machine = Machine(small_test_config())
+    total = machine.free_core_count()
+    cores = machine.allocate(PerSocketPlacement(1), "job")
+    assert machine.free_core_count() == total - len(cores)
+    machine.release(cores)
+    assert machine.free_core_count() == total
+
+
+def test_machine_rejects_mismatched_topology():
+    from repro.network import SingleSwitchTopology
+
+    with pytest.raises(ConfigurationError, match="topology"):
+        Machine(small_test_config(node_count=4), SingleSwitchTopology(5))
+
+
+def test_machine_node_count():
+    machine = Machine(small_test_config(node_count=3))
+    assert machine.node_count == 3
+    assert len(machine.nodes) == 3

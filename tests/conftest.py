@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Disables hypothesis' wall-clock deadline (simulation-heavy tests have noisy
+timings on shared machines) and registers a small default profile.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

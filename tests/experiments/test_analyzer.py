@@ -1,0 +1,86 @@
+"""Tests for the ContentionAnalyzer facade."""
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.core.analyzer import ContentionAnalyzer
+from repro.errors import ExperimentError
+from repro.units import MS
+from repro.workloads import FFTW, MCB, CompressionConfig
+
+
+def _analyzer(tmp_path=None):
+    analyzer = ContentionAnalyzer.quick(
+        small_test_config(), cache_path=(tmp_path / "c.json") if tmp_path else None
+    )
+    # Shrink further for unit-test speed.
+    analyzer.pipeline.catalog = [
+        CompressionConfig(1, 1, 2.5e6),
+        CompressionConfig(3, 10, 2.5e4),
+    ]
+    from dataclasses import replace
+
+    analyzer.pipeline.settings = replace(
+        analyzer.pipeline.settings, impact_duration=0.01, signature_duration=0.01
+    )
+    analyzer.register(FFTW(iterations=1, pack_compute=5e-5))
+    analyzer.register(MCB(iterations=2, track_compute=2e-4))
+    return analyzer
+
+
+def test_register_and_list():
+    analyzer = _analyzer()
+    assert analyzer.applications == ["fftw", "mcb"]
+
+
+def test_register_conflict_rejected():
+    analyzer = _analyzer()
+    with pytest.raises(ExperimentError, match="already registered"):
+        analyzer.register(FFTW(iterations=2))
+
+
+def test_reregistering_same_object_is_fine():
+    analyzer = _analyzer()
+    app = analyzer.pipeline.applications["fftw"]
+    analyzer.register(app)  # no error
+
+
+def test_fingerprint_returns_signature():
+    analyzer = _analyzer()
+    signature = analyzer.fingerprint("fftw")
+    assert signature.count > 10
+    assert signature.mean > 0
+
+
+def test_degradation_curve_sorted_by_utilization():
+    analyzer = _analyzer()
+    curve = analyzer.degradation_curve("fftw")
+    assert len(curve) == 2
+    xs = [point[0] for point in curve]
+    assert xs == sorted(xs)
+
+
+def test_predict_returns_all_models():
+    analyzer = _analyzer()
+    predictions = analyzer.predict("fftw", "mcb")
+    assert set(predictions) == {"AverageLT", "AverageStDevLT", "PDFLT", "Queue"}
+
+
+def test_measure_ground_truth():
+    analyzer = _analyzer()
+    slowdown = analyzer.measure("fftw", "mcb")
+    assert isinstance(slowdown, float)
+
+
+def test_interference_matrix_shape():
+    analyzer = _analyzer()
+    matrix = analyzer.interference_matrix()
+    assert len(matrix) == 4
+    assert all(len(cell) == 4 for cell in matrix.values())
+
+
+def test_registering_a_clashing_app_after_fitting_raises():
+    analyzer = _analyzer()
+    analyzer.predict("fftw", "mcb")  # fits the engine
+    with pytest.raises(ExperimentError, match="already registered"):
+        analyzer.register(MCB(iterations=1, track_compute=1e-4, census_every=2))

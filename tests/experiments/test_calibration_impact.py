@@ -1,0 +1,90 @@
+"""Tests for calibration and impact experiments."""
+
+import math
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.core.experiments import ImpactExperiment, calibrate
+from repro.errors import ExperimentError
+from repro.units import MS, US
+from repro.workloads import MCB, CompressionB, CompressionConfig
+
+
+CFG = small_test_config()
+
+
+def test_calibration_is_idle_scale():
+    estimate = calibrate(CFG, duration=0.02, probe_interval=0.1 * MS)
+    assert 0.3 * US < estimate.mean < 4 * US
+    assert estimate.variance >= 0
+    assert estimate.minimum <= estimate.mean
+    assert estimate.sample_count >= 50
+
+
+def test_calibration_too_short_raises():
+    with pytest.raises(ExperimentError, match="samples"):
+        calibrate(CFG, duration=1e-4, probe_interval=1 * MS)
+
+
+def test_calibration_deterministic():
+    first = calibrate(small_test_config(seed=2), duration=0.02, probe_interval=0.1 * MS)
+    second = calibrate(small_test_config(seed=2), duration=0.02, probe_interval=0.1 * MS)
+    assert first.mean == second.mean
+    assert first.variance == second.variance
+
+
+def test_idle_impact_measures_low_utilization():
+    calibration = calibrate(CFG, duration=0.02, probe_interval=0.1 * MS)
+    experiment = ImpactExperiment(CFG, calibration, probe_interval=0.1 * MS)
+    result = experiment.measure(None, duration=0.02)
+    assert result.signature.utilization < 0.15
+    assert result.true_utilization < 0.05
+
+
+def test_loaded_impact_measures_higher_utilization():
+    calibration = calibrate(CFG, duration=0.02, probe_interval=0.1 * MS)
+    experiment = ImpactExperiment(CFG, calibration, probe_interval=0.1 * MS)
+    idle = experiment.measure(None, duration=0.02)
+    heavy = experiment.measure(
+        CompressionB(CompressionConfig(3, 10, 2.5e4)), duration=0.02
+    )
+    assert heavy.signature.mean > idle.signature.mean
+    assert heavy.signature.utilization > idle.signature.utilization
+    assert heavy.true_utilization > idle.true_utilization
+
+
+def test_impact_without_calibration_has_nan_utilization():
+    experiment = ImpactExperiment(CFG, calibration=None, probe_interval=0.1 * MS)
+    result = experiment.measure(None, duration=0.02)
+    assert math.isnan(result.signature.utilization)
+
+
+def test_impact_result_serialization_roundtrip():
+    from repro.core.experiments import ImpactResult
+
+    experiment = ImpactExperiment(CFG, probe_interval=0.1 * MS)
+    result = experiment.measure(None, duration=0.02)
+    restored = ImpactResult.from_dict(result.to_dict())
+    assert restored.signature.mean == result.signature.mean
+    assert restored.true_utilization == result.true_utilization
+
+
+def test_impact_too_few_samples_raises():
+    experiment = ImpactExperiment(CFG, probe_interval=10 * MS)
+    with pytest.raises(ExperimentError, match="samples"):
+        experiment.measure(None, duration=0.005)
+
+
+def test_warmup_fraction_validation():
+    with pytest.raises(ExperimentError):
+        ImpactExperiment(CFG, warmup_fraction=1.0)
+
+
+def test_impact_of_finite_app_is_looped():
+    """Even a very short app keeps loading the switch for the whole window."""
+    experiment = ImpactExperiment(CFG, probe_interval=0.1 * MS)
+    app = MCB(iterations=1, track_compute=5e-5, migration_bytes=16 * 1024)
+    result = experiment.measure(app, duration=0.02)
+    # The app alone finishes in ~0.2ms; looping keeps true utilization > 0.
+    assert result.true_utilization > 0.0

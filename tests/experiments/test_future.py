@@ -1,0 +1,108 @@
+"""Tests for the future-system scaling study."""
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.config import NetworkConfig
+from repro.core.experiments import network_scaling_study, scaled_network
+from repro.errors import ExperimentError
+from repro.network import (
+    DeterministicService,
+    ExponentialService,
+    LognormalService,
+    MixtureService,
+)
+from repro.workloads import FFTW, MCB
+
+
+def test_scaled_network_halves_bandwidth_and_doubles_latency():
+    base = NetworkConfig()
+    slow = scaled_network(base, 2.0)
+    assert slow.link_bandwidth == pytest.approx(base.link_bandwidth / 2)
+    assert slow.link_latency == pytest.approx(base.link_latency * 2)
+    assert slow.nic_overhead == pytest.approx(base.nic_overhead * 2)
+    assert slow.port_overhead.mean == pytest.approx(base.port_overhead.mean * 2)
+
+
+def test_scaled_network_factor_one_is_identity_timing():
+    base = NetworkConfig()
+    same = scaled_network(base, 1.0)
+    assert same.link_bandwidth == base.link_bandwidth
+    assert same.port_overhead.mean == pytest.approx(base.port_overhead.mean)
+
+
+def test_scaled_network_invalid_factor():
+    with pytest.raises(ExperimentError):
+        scaled_network(NetworkConfig(), 0.0)
+
+
+def test_scale_model_preserves_shape():
+    from repro.core.experiments.future import _scale_model
+
+    for model in (
+        DeterministicService(1e-6),
+        ExponentialService(1e-6),
+        LognormalService(1e-6, 0.4),
+        MixtureService([DeterministicService(1e-6), DeterministicService(3e-6)], [0.5, 0.5]),
+    ):
+        scaled = _scale_model(model, 3.0)
+        assert scaled.mean == pytest.approx(model.mean * 3.0)
+        assert scaled.scv == pytest.approx(model.scv, abs=1e-9)
+
+
+def test_comm_bound_app_degrades_on_weaker_network():
+    points = network_scaling_study(
+        small_test_config(),
+        FFTW(iterations=1, pack_compute=5e-5),
+        factors=(1.0, 4.0),
+    )
+    assert points[0].slowdown_percent == 0.0
+    assert points[1].slowdown_percent > 50.0
+    assert points[1].elapsed > points[0].elapsed
+
+
+def test_compute_bound_app_barely_notices():
+    points = network_scaling_study(
+        small_test_config(),
+        MCB(iterations=2, track_compute=3e-4, migration_bytes=1024),
+        factors=(1.0, 4.0),
+    )
+    assert abs(points[1].slowdown_percent) < 20.0
+
+
+def test_slowdown_monotone_in_factor_for_comm_app():
+    points = network_scaling_study(
+        small_test_config(),
+        FFTW(iterations=1, pack_compute=5e-5),
+        factors=(1.0, 2.0, 4.0),
+    )
+    slowdowns = [p.slowdown_percent for p in points]
+    assert slowdowns == sorted(slowdowns)
+
+
+def test_empty_factors_rejected():
+    with pytest.raises(ExperimentError):
+        network_scaling_study(small_test_config(), MCB(iterations=1), factors=())
+
+
+def test_equivalent_utilization_rises_with_factor():
+    """The relativity principle: weaker networks impersonate higher
+    utilizations of the original network."""
+    from repro.core.experiments import calibrate, equivalent_utilization
+    from repro.units import MS
+
+    config = small_test_config()
+    calibration = calibrate(config, duration=0.02, probe_interval=0.1 * MS)
+    u2 = equivalent_utilization(config, 2.0, calibration, probe_interval=0.1 * MS, duration=0.02)
+    u6 = equivalent_utilization(config, 6.0, calibration, probe_interval=0.1 * MS, duration=0.02)
+    assert 0.0 < u2 < u6 < 1.0
+
+
+def test_equivalent_utilization_of_factor_one_is_small():
+    from repro.core.experiments import calibrate, equivalent_utilization
+    from repro.units import MS
+
+    config = small_test_config()
+    calibration = calibrate(config, duration=0.02, probe_interval=0.1 * MS)
+    u1 = equivalent_utilization(config, 1.0, calibration, probe_interval=0.1 * MS, duration=0.02)
+    assert u1 < 0.2

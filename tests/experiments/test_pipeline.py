@@ -1,0 +1,130 @@
+"""Tests for the cached reproduction pipeline."""
+
+import json
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.errors import ExperimentError
+from repro.units import MS
+from repro.workloads import FFTW, MCB, CompressionConfig
+
+
+def _pipeline(tmp_path=None, seed=0):
+    return ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick",
+            seed=seed,
+            impact_duration=0.01,
+            signature_duration=0.01,
+            calibration_duration=0.02,
+            probe_interval=0.1 * MS,
+        ),
+        machine_config=small_test_config(seed=seed),
+        applications={
+            "fftw": FFTW(iterations=1, pack_compute=5e-5),
+            "mcb": MCB(iterations=2, track_compute=2e-4),
+        },
+        catalog=[
+            CompressionConfig(1, 1, 2.5e6),
+            CompressionConfig(2, 1, 2.5e5),
+            CompressionConfig(3, 10, 2.5e4),
+        ],
+        cache_path=(tmp_path / "cache.json") if tmp_path else None,
+    )
+
+
+def test_settings_validate_profile():
+    with pytest.raises(ExperimentError):
+        PipelineSettings(profile="gigantic")
+
+
+def test_app_names_order():
+    pipeline = _pipeline()
+    assert pipeline.app_names == ["fftw", "mcb"]
+
+
+def test_unknown_app_raises():
+    pipeline = _pipeline()
+    with pytest.raises(ExperimentError, match="unknown application"):
+        pipeline.app_baseline("nope")
+
+
+def test_products_are_memoized_in_memory():
+    pipeline = _pipeline()
+    first = pipeline.app_baseline("mcb")
+    second = pipeline.app_baseline("mcb")
+    assert first == second
+    assert pipeline._cache["baseline/mcb"] == first
+
+
+def test_cache_persists_to_disk(tmp_path):
+    pipeline = _pipeline(tmp_path)
+    baseline = pipeline.app_baseline("mcb")
+    calibration = pipeline.calibration()
+
+    data = json.loads((tmp_path / "cache.json").read_text())
+    assert data["baseline/mcb"] == baseline
+
+    # A fresh pipeline reloads without re-simulating.
+    reloaded = _pipeline(tmp_path)
+    assert reloaded.app_baseline("mcb") == baseline
+    assert reloaded.calibration().mean == calibration.mean
+
+
+def test_degradation_table_covers_catalog():
+    pipeline = _pipeline()
+    table = pipeline.degradation_table()
+    assert set(table) == {"fftw", "mcb"}
+    for per_config in table.values():
+        assert len(per_config) == 3
+
+
+def test_measured_pairs_covers_all_ordered_pairs():
+    pipeline = _pipeline()
+    pairs = pipeline.measured_pairs()
+    assert set(pairs) == {
+        ("fftw", "fftw"),
+        ("fftw", "mcb"),
+        ("mcb", "fftw"),
+        ("mcb", "mcb"),
+    }
+
+
+def test_prediction_errors_shape():
+    pipeline = _pipeline()
+    errors = pipeline.prediction_errors()
+    assert set(errors) == {"AverageLT", "AverageStDevLT", "PDFLT", "Queue"}
+    for table in errors.values():
+        assert len(table) == 4
+        assert all(value >= 0 for value in table.values())
+
+
+def test_pipeline_deterministic_across_instances():
+    first = _pipeline(seed=7).pair_slowdown("fftw", "mcb")
+    second = _pipeline(seed=7).pair_slowdown("fftw", "mcb")
+    assert first == second
+
+
+def test_engine_prediction_consistency():
+    """The queue model predicts more slowdown next to the co-runner whose
+    probe signature shows higher switch utilization — provided the app's
+    own degradation curve is monotone over the catalog."""
+    pipeline = _pipeline()
+    engine = pipeline.engine()
+    value = engine.predict("fftw", "mcb", "Queue")
+    assert isinstance(value, float)
+    utils = {name: engine.signature_of(name).utilization for name in ("fftw", "mcb")}
+    heavy = max(utils, key=utils.get)
+    light = min(utils, key=utils.get)
+    curve = sorted(
+        (obs.utilization, pipeline.degradation_table()["fftw"][obs.label])
+        for obs in pipeline.compression_signatures()
+    )
+    degradations = [point[1] for point in curve]
+    if degradations == sorted(degradations):  # only meaningful when monotone
+        assert (
+            engine.predict("fftw", heavy, "Queue")
+            >= engine.predict("fftw", light, "Queue") - 1e-9
+        )

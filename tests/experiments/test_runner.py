@@ -1,0 +1,77 @@
+"""Tests for the shared experiment runner."""
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.core.experiments import JobSpec, execute
+from repro.errors import ExperimentError, SimulationError
+from repro.workloads import MCB, CompressionB, CompressionConfig
+
+
+def _app():
+    return MCB(iterations=2, track_compute=1e-4)
+
+
+def test_measured_job_elapsed_recorded():
+    result = execute(small_test_config(), [JobSpec(_app(), "mcb")])
+    assert result.elapsed_of("mcb") > 0
+    assert result.sim_time >= result.elapsed["mcb"]
+    assert result.events > 0
+
+
+def test_daemon_only_requires_duration():
+    comp = CompressionB(CompressionConfig(1, 1, 2.5e5))
+    with pytest.raises(ExperimentError, match="duration"):
+        execute(small_test_config(), [JobSpec(comp, "comp", daemon=True)])
+
+
+def test_daemon_only_with_duration():
+    comp = CompressionB(CompressionConfig(1, 1, 2.5e5))
+    result = execute(
+        small_test_config(), [JobSpec(comp, "comp", daemon=True)], duration=0.005
+    )
+    assert result.sim_time == pytest.approx(0.005)
+    assert result.elapsed == {}
+    assert result.true_utilization > 0
+
+
+def test_daemon_plus_measured_runs_until_measured_done():
+    comp = CompressionB(CompressionConfig(1, 1, 2.5e5))
+    result = execute(
+        small_test_config(),
+        [JobSpec(comp, "comp", daemon=True), JobSpec(_app(), "mcb")],
+    )
+    assert result.elapsed_of("mcb") > 0
+
+
+def test_empty_specs_rejected():
+    with pytest.raises(ExperimentError):
+        execute(small_test_config(), [])
+
+
+def test_unknown_elapsed_name_raises():
+    result = execute(small_test_config(), [JobSpec(_app(), "mcb")])
+    with pytest.raises(ExperimentError):
+        result.elapsed_of("nope")
+
+
+def test_max_events_budget_enforced():
+    with pytest.raises(SimulationError, match="budget"):
+        execute(small_test_config(), [JobSpec(_app(), "mcb")], max_events=10)
+
+
+def test_interference_slows_measured_job():
+    alone = execute(small_test_config(), [JobSpec(_app(), "mcb")])
+    heavy = CompressionB(CompressionConfig(3, 10, 2.5e4))
+    loaded = execute(
+        small_test_config(),
+        [JobSpec(heavy, "comp", daemon=True), JobSpec(_app(), "mcb")],
+    )
+    assert loaded.elapsed_of("mcb") >= alone.elapsed_of("mcb")
+
+
+def test_runs_are_deterministic():
+    first = execute(small_test_config(seed=5), [JobSpec(_app(), "mcb")])
+    second = execute(small_test_config(seed=5), [JobSpec(_app(), "mcb")])
+    assert first.elapsed_of("mcb") == second.elapsed_of("mcb")
+    assert first.events == second.events

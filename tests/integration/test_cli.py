@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in [
+        "calibrate",
+        "impact",
+        "fig3",
+        "fig6",
+        "fig7",
+        "table1",
+        "fig8",
+        "fig9",
+        "report",
+        "predict",
+    ]:
+        args = parser.parse_args(
+            [command] + (["fftw"] if command == "impact" else [])
+            + (["fftw", "mcb"] if command == "predict" else [])
+        )
+        assert args.command == command
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_profile_choices():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--profile", "huge", "calibrate"])
+
+
+def test_cli_calibrate_runs(tmp_path, capsys):
+    code = main(
+        ["--profile", "quick", "--cache", str(tmp_path / "c.json"), "calibrate"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "idle service estimate" in out
+    assert "µs" in out
+
+
+def test_cli_profile_runs(tmp_path, capsys, monkeypatch):
+    """Profile command traces a (shrunken) application on the Cab machine."""
+    import repro.core.experiments.catalog as catalog
+    from repro.workloads import MCB
+
+    monkeypatch.setattr(
+        catalog,
+        "paper_applications",
+        lambda: {"mcb": MCB(iterations=1, track_compute=1e-4)},
+    )
+    code = main(["--cache", str(tmp_path / "c.json"), "profile", "mcb"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "compute" in out and "wait" in out
+
+
+def test_cli_profile_unknown_app(tmp_path, capsys):
+    code = main(["--cache", str(tmp_path / "c.json"), "profile", "nosuch"])
+    assert code == 1
+    assert "unknown application" in capsys.readouterr().out
+
+
+def test_cli_calibrate_uses_cache(tmp_path, capsys):
+    cache = str(tmp_path / "c.json")
+    main(["--profile", "quick", "--cache", cache, "calibrate"])
+    first = capsys.readouterr().out
+    main(["--profile", "quick", "--cache", cache, "calibrate"])
+    second = capsys.readouterr().out
+    # Identical output, and the second run must not re-simulate (no
+    # "[pipeline]" progress lines).
+    assert first.splitlines()[-1] == second.splitlines()[-1]
+    assert "[pipeline]" not in second
+
+
+def test_cli_whatif_runs(tmp_path, capsys, monkeypatch):
+    import repro.core.experiments.catalog as catalog
+    from repro.workloads import MCB
+
+    monkeypatch.setattr(
+        catalog,
+        "paper_applications",
+        lambda: {"mcb": MCB(iterations=1, track_compute=1e-4)},
+    )
+    code = main(
+        ["--cache", str(tmp_path / "c.json"), "whatif", "mcb", "--factors", "1", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "weaker networks" in out
+    assert "3.0x" in out
+
+
+def test_cli_whatif_unknown_app(tmp_path, capsys):
+    code = main(["--cache", str(tmp_path / "c.json"), "whatif", "nosuch"])
+    assert code == 1

@@ -1,0 +1,123 @@
+"""End-to-end integration tests at reduced scale.
+
+These exercise the complete stack — kernel → network → MPI → workloads →
+experiments → models — the way the benchmark harness does, but on the small
+test machine so they run in seconds.
+"""
+
+import pytest
+
+from repro.cluster import Machine, PerSocketPlacement, small_test_config
+from repro.core.experiments import (
+    CompressionExperiment,
+    ImpactExperiment,
+    PipelineSettings,
+    ReproductionPipeline,
+    calibrate,
+)
+from repro.core.measurement import LatencyCollector
+from repro.mpi import MPIWorld
+from repro.units import MS
+from repro.workloads import FFTW, MCB, CompressionB, CompressionConfig, ImpactB
+
+
+CFG = small_test_config()
+
+
+def _mini_pipeline(seed=0):
+    return ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick",
+            seed=seed,
+            impact_duration=0.012,
+            signature_duration=0.012,
+            calibration_duration=0.02,
+            probe_interval=0.1 * MS,
+        ),
+        machine_config=small_test_config(seed=seed),
+        applications={
+            "fftw": FFTW(iterations=1, pack_compute=5e-5),
+            "mcb": MCB(iterations=2, track_compute=2e-4),
+        },
+        catalog=[
+            CompressionConfig(1, 1, 2.5e6),
+            CompressionConfig(2, 1, 2.5e5),
+            CompressionConfig(3, 10, 2.5e4),
+        ],
+    )
+
+
+def test_probe_and_app_and_interference_coexist():
+    """All three job kinds share one machine without core conflicts.
+
+    Needs 1 (probe) + 1 (interference) + 2 (app, half of 4) cores per
+    socket, so this test uses a 4-core-socket machine.
+    """
+    from dataclasses import replace
+
+    from repro.config import NodeConfig
+
+    machine = Machine(
+        replace(CFG, node=NodeConfig(sockets=2, cores_per_socket=4))
+    )
+    collector = LatencyCollector()
+    probe_world = MPIWorld.create(machine, PerSocketPlacement(1), name="impactb")
+    probe_world.launch(ImpactB(collector, interval=0.1 * MS))
+
+    comp = CompressionB(CompressionConfig(1, 1, 2.5e6))
+    comp_world = MPIWorld.create(machine, PerSocketPlacement(1), name="comp")
+    comp_world.launch(comp)
+
+    app = MCB(iterations=2, track_compute=1e-4)
+    app_world = MPIWorld.create(machine, app.preferred_placement(CFG), name="mcb")
+    job = app_world.launch(app)
+    machine.sim.run_until_event(job.done)
+
+    assert job.finished
+    assert collector.count > 0
+
+
+def test_full_methodology_produces_bounded_errors():
+    """The complete paper methodology yields finite predictions for every
+    pairing and error magnitudes of the same order as the slowdowns."""
+    pipeline = _mini_pipeline()
+    errors = pipeline.prediction_errors()
+    measured = pipeline.measured_pairs()
+    scale = max(abs(v) for v in measured.values()) + 5.0
+    for model, table in errors.items():
+        for pair, error in table.items():
+            assert 0 <= error < 10 * scale, f"{model} {pair}: error {error}"
+
+
+def test_methodology_is_deterministic_end_to_end():
+    first = _mini_pipeline(seed=3).prediction_errors()
+    second = _mini_pipeline(seed=3).prediction_errors()
+    assert first == second
+
+
+def test_different_seeds_give_different_but_sane_results():
+    first = _mini_pipeline(seed=1).pair_slowdown("fftw", "fftw")
+    second = _mini_pipeline(seed=2).pair_slowdown("fftw", "fftw")
+    # Different RNG draws -> different exact numbers...
+    assert first != second
+    # ...but the same physics: both show real interference.
+    assert first > 0 and second > 0
+
+
+def test_compression_signature_reflects_in_degradation():
+    """A config with a higher probe signature also causes more degradation
+    for a communication-bound app (the correlation the models exploit)."""
+    calibration = calibrate(CFG, duration=0.02, probe_interval=0.1 * MS)
+    experiment = CompressionExperiment(CFG, calibration, probe_interval=0.1 * MS)
+    app = FFTW(iterations=1, pack_compute=5e-5)
+    baseline = experiment.baseline(app)
+
+    light_cfg = CompressionConfig(1, 1, 2.5e6)
+    heavy_cfg = CompressionConfig(3, 10, 2.5e4)
+    light = experiment.signature_of(light_cfg, duration=0.012)
+    heavy = experiment.signature_of(heavy_cfg, duration=0.012)
+    assert heavy.utilization > light.utilization
+
+    light_deg = experiment.degradation(app, light_cfg, baseline)
+    heavy_deg = experiment.degradation(app, heavy_cfg, baseline)
+    assert heavy_deg > light_deg

@@ -1,0 +1,105 @@
+"""Failure injection: broken workloads must fail loudly, never hang."""
+
+import pytest
+
+from repro.cluster import Machine, PerSocketPlacement, small_test_config
+from repro.errors import ProcessFailure, SimulationError
+from repro.mpi import MPIWorld
+
+
+CFG = small_test_config()
+
+
+def _launch(machine, factory):
+    world = MPIWorld.create(machine, PerSocketPlacement(1), name="faulty")
+    return world.launch(factory)
+
+
+def test_exception_inside_collective_propagates():
+    machine = Machine(CFG)
+
+    def workload(ctx):
+        if ctx.rank == 3:
+            raise RuntimeError("rank 3 corrupted its lattice")
+        yield from ctx.comm.allreduce(1, nbytes=8)
+
+    job = _launch(machine, workload)
+    with pytest.raises(ProcessFailure, match="faulty.r3"):
+        machine.sim.run_until_event(job.done)
+
+
+def test_deadlocked_receive_is_detected_not_hung():
+    """A recv with no matching send drains the event heap: the kernel
+    raises 'ran dry' instead of looping forever."""
+    machine = Machine(CFG)
+
+    def workload(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.recv(1, tag=99)  # nobody sends this
+        return None
+        yield
+
+    job = _launch(machine, workload)
+    with pytest.raises(SimulationError, match="dry"):
+        machine.sim.run_until_event(job.done)
+
+
+def test_mismatched_collective_order_deadlocks_detectably():
+    """Half the ranks call barrier, half call allreduce: the world cannot
+    complete and the kernel reports it."""
+    machine = Machine(CFG)
+
+    def workload(ctx):
+        if ctx.rank % 2 == 0:
+            yield from ctx.comm.barrier()
+        else:
+            yield from ctx.comm.allreduce(1, nbytes=8)
+
+    job = _launch(machine, workload)
+    with pytest.raises(SimulationError, match="dry"):
+        machine.sim.run_until_event(job.done)
+
+
+def test_event_budget_stops_runaway_job():
+    machine = Machine(CFG)
+
+    def workload(ctx):
+        while True:  # infinite ping storm
+            yield from ctx.comm.sendrecv(ctx.rank ^ 1, 1024, ctx.rank ^ 1, tag=1)
+
+    job = _launch(machine, workload)
+    with pytest.raises(SimulationError, match="budget"):
+        machine.sim.run_until_event(job.done, max_events=50_000)
+
+
+def test_failure_message_names_the_rank():
+    machine = Machine(CFG)
+
+    def workload(ctx):
+        yield from ctx.compute(1e-6)
+        if ctx.rank == 5:
+            raise ValueError("boom")
+
+    job = _launch(machine, workload)
+    with pytest.raises(ProcessFailure) as excinfo:
+        machine.sim.run_until_event(job.done)
+    assert "r5" in str(excinfo.value)
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_machine_survives_for_postmortem_after_failure():
+    """After a ProcessFailure the simulator state is still inspectable."""
+    machine = Machine(CFG)
+
+    def workload(ctx):
+        yield from ctx.comm.send((ctx.rank + 1) % ctx.size, 4096, tag=1)
+        if ctx.rank == 0:
+            raise RuntimeError("fault")
+        yield from ctx.comm.recv((ctx.rank - 1) % ctx.size, tag=1)
+
+    job = _launch(machine, workload)
+    with pytest.raises(ProcessFailure):
+        machine.sim.run_until_event(job.done)
+    # Post-mortem: traffic up to the fault is visible in the counters.
+    assert machine.network.messages_sent > 0
+    assert machine.sim.now >= 0

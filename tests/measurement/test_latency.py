@@ -1,0 +1,42 @@
+"""Tests for LatencyCollector."""
+
+import numpy as np
+import pytest
+
+from repro.core.measurement import LatencyCollector
+from repro.errors import ExperimentError
+
+
+def test_record_and_values():
+    collector = LatencyCollector()
+    collector.record(0.0, 1e-6, rank=0)
+    collector.record(1.0, 2e-6, rank=2)
+    assert collector.count == 2
+    np.testing.assert_allclose(collector.values(), [1e-6, 2e-6])
+    np.testing.assert_allclose(collector.times(), [0.0, 1.0])
+    np.testing.assert_array_equal(collector.ranks(), [0, 2])
+
+
+def test_nonpositive_latency_rejected():
+    collector = LatencyCollector()
+    with pytest.raises(ExperimentError):
+        collector.record(0.0, 0.0, rank=0)
+    with pytest.raises(ExperimentError):
+        collector.record(0.0, -1e-6, rank=0)
+
+
+def test_values_after_filters_warmup():
+    collector = LatencyCollector()
+    for t in range(10):
+        collector.record(float(t), 1e-6 * (t + 1), rank=0)
+    late = collector.values_after(5.0)
+    assert len(late) == 5
+    np.testing.assert_allclose(late, [6e-6, 7e-6, 8e-6, 9e-6, 10e-6])
+
+
+def test_clear():
+    collector = LatencyCollector()
+    collector.record(0.0, 1e-6, rank=0)
+    collector.clear()
+    assert collector.count == 0
+    assert len(collector.values()) == 0

@@ -1,0 +1,73 @@
+"""Tests for ProbeSignature."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.measurement import ProbeSignature
+from repro.errors import ExperimentError
+from repro.queueing import ServiceEstimate
+from repro.units import US
+
+
+def _calibration(mean=1e-6, var=1e-13):
+    return ServiceEstimate(mean=mean, variance=var, minimum=mean / 2, sample_count=100)
+
+
+def test_from_samples_basic():
+    sig = ProbeSignature.from_samples([1e-6, 2e-6, 3e-6])
+    assert sig.mean == pytest.approx(2e-6)
+    assert sig.std == pytest.approx(np.std([1e-6, 2e-6, 3e-6], ddof=1))
+    assert sig.count == 3
+    assert math.isnan(sig.utilization)
+
+
+def test_utilization_with_calibration():
+    calibration = _calibration()
+    idle = ProbeSignature.from_samples([1e-6] * 10, calibration)
+    loaded = ProbeSignature.from_samples([4e-6] * 10, calibration)
+    assert idle.utilization == pytest.approx(0.0, abs=1e-9)
+    assert 0.0 < loaded.utilization < 1.0
+    assert loaded.utilization > 0.5
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(ExperimentError):
+        ProbeSignature.from_samples([1e-6])
+
+
+def test_interval_and_overlap():
+    a = ProbeSignature.from_samples([1e-6, 3e-6])  # mean 2, std ~1.41
+    b = ProbeSignature.from_samples([2e-6, 4e-6])  # mean 3
+    low, high = a.interval
+    assert low < a.mean < high
+    assert a.interval_overlap(b) > 0
+    assert a.interval_overlap(b) == pytest.approx(b.interval_overlap(a))
+
+
+def test_disjoint_intervals_have_zero_overlap():
+    a = ProbeSignature.from_samples([1.00e-6, 1.01e-6])
+    b = ProbeSignature.from_samples([9.00e-6, 9.01e-6])
+    assert a.interval_overlap(b) == 0.0
+
+
+def test_pdf_affinity_prefers_similar():
+    rng = np.random.default_rng(1)
+    base = rng.normal(2e-6, 0.3e-6, 1000).clip(1e-7)
+    similar = rng.normal(2e-6, 0.3e-6, 1000).clip(1e-7)
+    different = rng.normal(8e-6, 0.3e-6, 1000).clip(1e-7)
+    a = ProbeSignature.from_samples(base)
+    assert a.pdf_affinity(ProbeSignature.from_samples(similar)) > a.pdf_affinity(
+        ProbeSignature.from_samples(different)
+    )
+
+
+def test_serialization_roundtrip():
+    sig = ProbeSignature.from_samples([1e-6, 2e-6, 8e-6], _calibration())
+    restored = ProbeSignature.from_dict(sig.to_dict())
+    assert restored.mean == sig.mean
+    assert restored.std == sig.std
+    assert restored.count == sig.count
+    assert restored.utilization == sig.utilization
+    assert restored.histogram.total == sig.histogram.total

@@ -1,0 +1,95 @@
+"""Tests for the PredictionEngine."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import CompressionObservation
+from repro.core.experiments.impact import ImpactResult
+from repro.core.measurement import ProbeSignature
+from repro.core.models import AverageLT, PredictionEngine, default_models
+from repro.errors import ModelError
+from repro.queueing import ServiceEstimate, sojourn_from_utilization
+from repro.workloads import CompressionConfig
+
+CAL = ServiceEstimate(mean=1e-6, variance=1e-13, minimum=0.8e-6, sample_count=200)
+
+
+def _signature(rho, seed=0):
+    mean = sojourn_from_utilization(rho, CAL.rate, CAL.variance)
+    rng = np.random.default_rng(seed)
+    return ProbeSignature.from_samples(
+        rng.normal(mean, mean * 0.01, 200).clip(1e-9), CAL
+    )
+
+
+def _setup():
+    observations = []
+    degradations = {"a": {}, "b": {}}
+    for index, rho in enumerate((0.2, 0.5, 0.8)):
+        config = CompressionConfig(partners=index + 1, messages=1, sleep_cycles=2.5e5)
+        obs = CompressionObservation(
+            config=config,
+            impact=ImpactResult(
+                signature=_signature(rho, seed=index), true_utilization=rho, sim_time=0.01
+            ),
+        )
+        observations.append(obs)
+        degradations["a"][obs.label] = 10.0 * (index + 1)
+        degradations["b"][obs.label] = 1.0 * (index + 1)
+    signatures = {"a": _signature(0.75, seed=10), "b": _signature(0.15, seed=11)}
+    return observations, degradations, signatures
+
+
+def test_engine_fits_all_default_models():
+    observations, degradations, signatures = _setup()
+    engine = PredictionEngine(observations, degradations, signatures)
+    assert set(engine.model_names) == {"AverageLT", "AverageStDevLT", "PDFLT", "Queue"}
+
+
+def test_predict_pair_returns_all_models():
+    observations, degradations, signatures = _setup()
+    engine = PredictionEngine(observations, degradations, signatures)
+    predictions = engine.predict_pair("a", "b")
+    assert len(predictions) == 4
+    assert {p.model for p in predictions} == set(engine.model_names)
+    assert all(p.app == "a" and p.other == "b" for p in predictions)
+
+
+def test_predictions_reflect_co_runner_load():
+    """App 'a' should be predicted to suffer more next to heavy 'a' than
+    next to light 'b'."""
+    observations, degradations, signatures = _setup()
+    engine = PredictionEngine(observations, degradations, signatures)
+    heavy = engine.predict("a", "a", "Queue")
+    light = engine.predict("a", "b", "Queue")
+    assert heavy > light
+
+
+def test_predict_all_covers_every_ordered_pair():
+    observations, degradations, signatures = _setup()
+    engine = PredictionEngine(observations, degradations, signatures)
+    predictions = engine.predict_all()
+    # 2 apps x 2 others x 4 models
+    assert len(predictions) == 16
+
+
+def test_unknown_model_raises():
+    observations, degradations, signatures = _setup()
+    engine = PredictionEngine(observations, degradations, signatures)
+    with pytest.raises(ModelError, match="unknown model"):
+        engine.predict("a", "b", "Oracle")
+
+
+def test_unknown_app_signature_raises():
+    observations, degradations, signatures = _setup()
+    engine = PredictionEngine(observations, degradations, signatures)
+    with pytest.raises(ModelError, match="no impact signature"):
+        engine.predict("a", "zzz", "AverageLT")
+
+
+def test_custom_model_list():
+    observations, degradations, signatures = _setup()
+    engine = PredictionEngine(
+        observations, degradations, signatures, models=[AverageLT()]
+    )
+    assert engine.model_names == ["AverageLT"]

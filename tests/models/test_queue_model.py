@@ -1,0 +1,109 @@
+"""Tests for the queue-theoretic model."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import CompressionObservation
+from repro.core.experiments.impact import ImpactResult
+from repro.core.measurement import ProbeSignature
+from repro.core.models import QueueModel
+from repro.errors import ModelError
+from repro.queueing import ServiceEstimate, sojourn_from_utilization
+from repro.units import US
+from repro.workloads import CompressionConfig
+
+CAL = ServiceEstimate(mean=1e-6, variance=1e-13, minimum=0.8e-6, sample_count=200)
+
+
+def _signature_at_utilization(rho, n=300, seed=0):
+    """Synthesize probe samples whose mean inverts to utilization ``rho``."""
+    target_mean = sojourn_from_utilization(rho, CAL.rate, CAL.variance)
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(target_mean, target_mean * 0.001, n).clip(1e-9)
+    return ProbeSignature.from_samples(samples, CAL)
+
+
+def _observation(p, rho, seed=0):
+    config = CompressionConfig(partners=p, messages=1, sleep_cycles=2.5e5)
+    return CompressionObservation(
+        config=config,
+        impact=ImpactResult(
+            signature=_signature_at_utilization(rho, seed=seed),
+            true_utilization=rho,
+            sim_time=0.01,
+        ),
+    )
+
+
+@pytest.fixture()
+def fitted():
+    observations = [
+        _observation(1, 0.2, seed=1),
+        _observation(4, 0.5, seed=2),
+        _observation(7, 0.8, seed=3),
+    ]
+    labels = [obs.label for obs in observations]
+    degradations = {"app": {labels[0]: 10.0, labels[1]: 40.0, labels[2]: 100.0}}
+    return observations, degradations
+
+
+def test_synthesized_utilizations_are_accurate():
+    sig = _signature_at_utilization(0.5)
+    assert sig.utilization == pytest.approx(0.5, abs=0.01)
+
+
+def test_interpolates_between_configs(fitted):
+    observations, degradations = fitted
+    model = QueueModel(interpolate=True).fit(observations, degradations)
+    # Halfway between rho=0.2 (10%) and rho=0.5 (40%) -> ~25%.
+    prediction = model.predict("app", _signature_at_utilization(0.35, seed=9))
+    assert prediction == pytest.approx(25.0, abs=3.0)
+
+
+def test_nearest_mode_matches_paper_rule(fitted):
+    observations, degradations = fitted
+    model = QueueModel(interpolate=False).fit(observations, degradations)
+    assert model.predict("app", _signature_at_utilization(0.45, seed=9)) == 40.0
+    assert model.predict("app", _signature_at_utilization(0.25, seed=9)) == 10.0
+
+
+def test_clamps_below_and_above_range(fitted):
+    observations, degradations = fitted
+    model = QueueModel().fit(observations, degradations)
+    light = model.predict("app", _signature_at_utilization(0.01, seed=9))
+    heavy = model.predict("app", _signature_at_utilization(0.97, seed=9))
+    assert light == pytest.approx(10.0, abs=2.0)
+    assert heavy == pytest.approx(100.0, abs=2.0)
+
+
+def test_monotone_prediction_for_monotone_curve(fitted):
+    observations, degradations = fitted
+    model = QueueModel().fit(observations, degradations)
+    predictions = [
+        model.predict("app", _signature_at_utilization(rho, seed=9))
+        for rho in (0.2, 0.4, 0.6, 0.8)
+    ]
+    assert predictions == sorted(predictions)
+
+
+def test_uncalibrated_observations_raise(fitted):
+    observations, degradations = fitted
+    # Strip the calibration: utilization becomes NaN.
+    raw = ProbeSignature.from_samples([1e-6, 2e-6])
+    bad = CompressionObservation(
+        config=observations[0].config,
+        impact=ImpactResult(signature=raw, true_utilization=0.0, sim_time=0.01),
+    )
+    model = QueueModel().fit(
+        [bad], {"app": {bad.label: 1.0}}
+    )
+    with pytest.raises(ModelError, match="calibrated"):
+        model.predict("app", _signature_at_utilization(0.5, seed=9))
+
+
+def test_uncalibrated_target_raises(fitted):
+    observations, degradations = fitted
+    model = QueueModel().fit(observations, degradations)
+    raw = ProbeSignature.from_samples([1e-6, 2e-6])
+    with pytest.raises(ModelError, match="utilization"):
+        model.predict("app", raw)

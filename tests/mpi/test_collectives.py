@@ -1,0 +1,216 @@
+"""Correctness tests for collective algorithms (values, not just timing)."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import BlockPlacement, Machine, small_test_config
+from repro.config import MachineConfig, NetworkConfig, NodeConfig
+from repro.mpi import MPIWorld
+
+
+def _machine(nodes=4, cores=4):
+    config = MachineConfig(
+        node_count=nodes,
+        node=NodeConfig(sockets=1, cores_per_socket=cores),
+        network=NetworkConfig(),
+    )
+    return Machine(config)
+
+
+def _run_collective(size, factory, nodes=None):
+    machine = _machine(nodes=nodes or max(2, (size + 1) // 2), cores=max(2, size))
+    world = MPIWorld.create(machine, BlockPlacement(size), name="coll")
+    job = world.launch(factory)
+    machine.sim.run_until_event(job.done)
+    return job.results()
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 13])
+def test_barrier_completes_for_any_size(size):
+    def workload(ctx):
+        yield from ctx.comm.barrier()
+        return ctx.now
+
+    results = _run_collective(size, workload)
+    assert len(results) == size
+
+
+def test_barrier_synchronizes_laggards():
+    """Ranks reaching the barrier early wait for the slowest."""
+
+    def workload(ctx):
+        yield from ctx.compute(1e-3 * (1 + ctx.rank))  # rank 3 slowest
+        yield from ctx.comm.barrier()
+        return ctx.now
+
+    results = _run_collective(4, workload)
+    slowest_entry = 4e-3
+    assert all(t >= slowest_entry for t in results)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 9])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_delivers_root_value(size, root):
+    root_rank = size - 1 if root == "last" else 0
+
+    def workload(ctx):
+        value = f"payload-{ctx.rank}" if ctx.rank == root_rank else None
+        result = yield from ctx.comm.bcast(value, root_rank, nbytes=256)
+        return result
+
+    results = _run_collective(size, workload)
+    assert results == [f"payload-{root_rank}"] * size
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 6, 8, 11])
+def test_reduce_sums_to_root(size):
+    def workload(ctx):
+        result = yield from ctx.comm.reduce(ctx.rank + 1, root=0, nbytes=8)
+        return result
+
+    results = _run_collective(size, workload)
+    assert results[0] == size * (size + 1) // 2
+    assert all(value is None for value in results[1:])
+
+
+def test_reduce_nonzero_root():
+    def workload(ctx):
+        result = yield from ctx.comm.reduce(ctx.rank, root=2, nbytes=8)
+        return result
+
+    results = _run_collective(5, workload)
+    assert results[2] == 10
+    assert results[0] is None
+
+
+def test_reduce_custom_op_max():
+    def workload(ctx):
+        result = yield from ctx.comm.reduce(
+            (ctx.rank * 7) % 5, root=0, nbytes=8, op=max
+        )
+        return result
+
+    results = _run_collective(5, workload)
+    assert results[0] == max((r * 7) % 5 for r in range(5))
+
+
+def test_reduce_deterministic_order_for_noncommutative_op():
+    """String concatenation exposes combination order; it must be stable."""
+
+    def workload(ctx):
+        result = yield from ctx.comm.reduce(str(ctx.rank), root=0, nbytes=8, op=operator.add)
+        return result
+
+    first = _run_collective(6, workload)[0]
+    second = _run_collective(6, workload)[0]
+    assert first == second
+    assert sorted(first) == list("012345")
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 5, 8])
+def test_allreduce_everyone_gets_sum(size):
+    def workload(ctx):
+        result = yield from ctx.comm.allreduce(ctx.rank, nbytes=8)
+        return result
+
+    results = _run_collective(size, workload)
+    assert results == [size * (size - 1) // 2] * size
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 6, 9])
+def test_allgather_collects_everything_in_rank_order(size):
+    def workload(ctx):
+        result = yield from ctx.comm.allgather(ctx.rank * 100, nbytes=64)
+        return result
+
+    results = _run_collective(size, workload)
+    expected = [r * 100 for r in range(size)]
+    assert results == [expected] * size
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 6, 8])
+def test_alltoall_personalizes_exchange(size):
+    def workload(ctx):
+        outgoing = [f"{ctx.rank}->{dest}" for dest in range(ctx.size)]
+        result = yield from ctx.comm.alltoall(outgoing, nbytes_per_pair=128)
+        return result
+
+    results = _run_collective(size, workload)
+    for receiver, received in enumerate(results):
+        assert received == [f"{source}->{receiver}" for source in range(size)]
+
+
+def test_alltoall_timing_only_traffic():
+    def workload(ctx):
+        result = yield from ctx.comm.alltoall(None, nbytes_per_pair=1024)
+        return result
+
+    results = _run_collective(4, workload)
+    assert all(value == [None] * 4 for value in results)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_gather_to_root(size):
+    def workload(ctx):
+        result = yield from ctx.comm.gather(ctx.rank**2, root=0, nbytes=16)
+        return result
+
+    results = _run_collective(size, workload)
+    assert results[0] == [r**2 for r in range(size)]
+    assert all(value is None for value in results[1:])
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 7])
+def test_scatter_from_root(size):
+    def workload(ctx):
+        values = [f"chunk{i}" for i in range(ctx.size)] if ctx.rank == 1 % ctx.size else None
+        result = yield from ctx.comm.scatter(values, root=1 % ctx.size, nbytes=32)
+        return result
+
+    results = _run_collective(size, workload)
+    assert results == [f"chunk{i}" for i in range(size)]
+
+
+def test_scatter_requires_correct_value_count():
+    from repro.errors import ProcessFailure
+
+    machine = _machine(nodes=2, cores=2)
+    world = MPIWorld.create(machine, BlockPlacement(4), name="bad")
+
+    def workload(ctx):
+        values = ["a"] if ctx.rank == 0 else None
+        yield from ctx.comm.scatter(values, root=0, nbytes=8)
+
+    job = world.launch(workload)
+    with pytest.raises(ProcessFailure):
+        machine.sim.run_until_event(job.done)
+
+
+def test_back_to_back_collectives_do_not_crossmatch():
+    """Consecutive collectives with identical shapes must not interfere."""
+
+    def workload(ctx):
+        first = yield from ctx.comm.allreduce(1, nbytes=8)
+        second = yield from ctx.comm.allreduce(10, nbytes=8)
+        third = yield from ctx.comm.allgather(ctx.rank, nbytes=8)
+        return (first, second, third)
+
+    results = _run_collective(6, workload)
+    for first, second, third in results:
+        assert first == 6
+        assert second == 60
+        assert third == list(range(6))
+
+
+def test_collectives_across_multiple_iterations():
+    def workload(ctx):
+        total = 0
+        for _ in range(5):
+            total = yield from ctx.comm.allreduce(total + 1, nbytes=8)
+        return total
+
+    results = _run_collective(3, workload)
+    # x_{k+1} = 3*(x_k + 1): 3, 12, 39, 120, 363
+    assert results == [363, 363, 363]

@@ -1,0 +1,91 @@
+"""Model-based property test: MatchingEngine vs a reference oracle.
+
+Random interleavings of posted receives and delivered messages (with
+wildcards) must produce exactly the matches a straightforward reference
+implementation of the MPI matching rules produces.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Envelope, MatchingEngine
+from repro.sim import Simulator
+
+
+def _reference_match(posted, unexpected, source, tag):
+    """Oracle: first unexpected envelope matching (source, tag), else None."""
+    for index, envelope in enumerate(unexpected):
+        if (source in (ANY_SOURCE, envelope[0])) and (tag in (ANY_TAG, envelope[1])):
+            return index
+    return None
+
+
+operations = st.lists(
+    st.one_of(
+        # post(source, tag): source in {ANY, 0, 1}, tag in {ANY, 0, 1}
+        st.tuples(
+            st.just("post"),
+            st.sampled_from([ANY_SOURCE, 0, 1]),
+            st.sampled_from([ANY_TAG, 0, 1]),
+        ),
+        # deliver(src, tag, payload-id)
+        st.tuples(
+            st.just("deliver"),
+            st.sampled_from([0, 1]),
+            st.sampled_from([0, 1]),
+        ),
+    ),
+    max_size=40,
+)
+
+
+@given(operations)
+def test_property_matching_agrees_with_oracle(ops):
+    engine = MatchingEngine(Simulator(), rank=9)
+
+    # Oracle state: lists of (source, tag, id).
+    oracle_posted = []  # (source, tag, request_id)
+    oracle_unexpected = []  # (src, tag, message_id)
+    oracle_matches = {}  # request_id -> message_id
+
+    requests = {}
+    next_message = 0
+
+    for op in ops:
+        if op[0] == "post":
+            _kind, source, tag = op
+            request_id = len(requests)
+            request = engine.post(source, tag)
+            requests[request_id] = request
+
+            index = _reference_match(None, oracle_unexpected, source, tag)
+            if index is not None:
+                oracle_matches[request_id] = oracle_unexpected.pop(index)[2]
+            else:
+                oracle_posted.append((source, tag, request_id))
+        else:
+            _kind, src, tag = op
+            message_id = next_message
+            next_message += 1
+            engine.deliver(Envelope(src=src, dst=9, tag=tag, nbytes=8, payload=message_id))
+
+            matched = None
+            for index, (want_source, want_tag, request_id) in enumerate(oracle_posted):
+                if (want_source in (ANY_SOURCE, src)) and (want_tag in (ANY_TAG, tag)):
+                    matched = index
+                    break
+            if matched is not None:
+                _s, _t, request_id = oracle_posted.pop(matched)
+                oracle_matches[request_id] = message_id
+            else:
+                oracle_unexpected.append((src, tag, message_id))
+
+    # Every oracle match is realized with the same message, and no extras.
+    for request_id, request in requests.items():
+        if request_id in oracle_matches:
+            assert request.complete, f"request {request_id} should have matched"
+            assert request.envelope.payload == oracle_matches[request_id]
+        else:
+            assert not request.complete, f"request {request_id} matched unexpectedly"
+
+    assert engine.posted_count == len(oracle_posted)
+    assert engine.unexpected_count == len(oracle_unexpected)

@@ -1,0 +1,152 @@
+"""Tests for the rendezvous protocol (large-message eager threshold)."""
+
+import pytest
+
+from repro.cluster import Machine, PerSocketPlacement, small_test_config
+from repro.errors import ConfigurationError
+from repro.mpi import MPIWorld
+from repro.units import KB
+
+
+def _world(machine, threshold):
+    return MPIWorld.create(
+        machine, PerSocketPlacement(1), name="rdv", eager_threshold=threshold
+    )
+
+
+def _run(machine, world, factory):
+    job = world.launch(factory)
+    machine.sim.run_until_event(job.done)
+    return job
+
+
+def test_large_payload_survives_rendezvous():
+    machine = Machine(small_test_config())
+    world = _world(machine, threshold=16 * KB)
+
+    def workload(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(2, 64 * KB, tag=1, payload={"big": True})
+            return None
+        if ctx.rank == 2:
+            data = yield from ctx.comm.recv(0, tag=1)
+            return data
+        return None
+        yield
+
+    job = _run(machine, world, workload)
+    assert job.results()[2] == {"big": True}
+
+
+def test_small_messages_stay_eager():
+    """Below the threshold the sender completes without a posted receive."""
+    machine = Machine(small_test_config())
+    world = _world(machine, threshold=16 * KB)
+    sent_at = {}
+
+    def workload(ctx):
+        if ctx.rank == 0:
+            request = ctx.comm.isend(2, 1 * KB, tag=1)
+            yield from ctx.comm.wait(request)
+            sent_at["time"] = ctx.now
+        elif ctx.rank == 2:
+            yield from ctx.compute(1e-3)  # receive posted very late
+            yield from ctx.comm.recv(0, tag=1)
+        return None
+        yield
+
+    _run(machine, world, workload)
+    assert sent_at["time"] < 1e-4  # completed long before the recv was posted
+
+
+def test_rendezvous_send_waits_for_receiver():
+    """Above the threshold the send cannot complete until the receiver
+    posts a matching receive (synchronous-send semantics)."""
+    machine = Machine(small_test_config())
+    world = _world(machine, threshold=16 * KB)
+    times = {}
+
+    def workload(ctx):
+        if ctx.rank == 0:
+            request = ctx.comm.isend(2, 64 * KB, tag=1)
+            yield from ctx.comm.wait(request)
+            times["send_done"] = ctx.now
+        elif ctx.rank == 2:
+            yield from ctx.compute(1e-3)
+            yield from ctx.comm.recv(0, tag=1)
+            times["recv_done"] = ctx.now
+        return None
+        yield
+
+    _run(machine, world, workload)
+    assert times["send_done"] > 1e-3  # blocked on the late receiver
+    assert times["recv_done"] >= times["send_done"] - 1e-9
+
+
+def test_rendezvous_with_pre_posted_receive_adds_one_roundtrip():
+    """When the receive is already posted, rendezvous costs ~one control
+    round-trip more than eager for the same payload."""
+
+    def run(threshold):
+        machine = Machine(small_test_config())
+        world = _world(machine, threshold)
+        done = {}
+
+        def workload(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(2, 64 * KB, tag=1)
+            elif ctx.rank == 2:
+                yield from ctx.comm.recv(0, tag=1)
+                done["at"] = ctx.now
+            return None
+            yield
+
+        _run(machine, world, workload)
+        return done["at"]
+
+    eager = run(threshold=None)
+    rendezvous = run(threshold=16 * KB)
+    assert rendezvous > eager
+    assert rendezvous < eager + 50e-6  # a handful of µs, not a stall
+
+
+def test_rendezvous_messages_do_not_crossmatch_eager():
+    """Mixed traffic: small eager and large rendezvous messages with the
+    same tag arrive in order with correct payloads."""
+    machine = Machine(small_test_config())
+    world = _world(machine, threshold=16 * KB)
+
+    def workload(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(2, 1 * KB, tag=1, payload="small")
+            yield from ctx.comm.send(2, 64 * KB, tag=1, payload="large")
+            return None
+        if ctx.rank == 2:
+            first = yield from ctx.comm.recv(0, tag=1)
+            second = yield from ctx.comm.recv(0, tag=1)
+            return (first, second)
+        return None
+        yield
+
+    job = _run(machine, world, workload)
+    assert job.results()[2] == ("small", "large")
+
+
+def test_collectives_work_over_rendezvous():
+    machine = Machine(small_test_config())
+    world = _world(machine, threshold=1 * KB)  # everything above 1KB rendezvous
+
+    def workload(ctx):
+        values = yield from ctx.comm.allgather(ctx.rank, nbytes=8 * KB)
+        return values
+
+    job = _run(machine, world, workload)
+    assert all(result == list(range(8)) for result in job.results())
+
+
+def test_negative_threshold_rejected():
+    machine = Machine(small_test_config())
+    with pytest.raises(ConfigurationError):
+        MPIWorld.create(
+            machine, PerSocketPlacement(1), name="bad", eager_threshold=-1
+        )

@@ -1,0 +1,68 @@
+"""Tests for networkx topology analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import FatTreeTopology, SingleSwitchTopology
+from repro.network.graph import (
+    bisection_width,
+    oversubscription_ratio,
+    switch_hop_count,
+    topology_graph,
+)
+
+
+def test_single_switch_graph_is_a_star():
+    graph = topology_graph(SingleSwitchTopology(6))
+    assert graph.number_of_nodes() == 7
+    assert graph.number_of_edges() == 6
+    assert graph.degree["s0"] == 6
+
+
+def test_fat_tree_graph_structure():
+    topo = FatTreeTopology(leaf_count=2, nodes_per_leaf=3, root_count=1)
+    graph = topology_graph(topo)
+    # 6 nodes + 3 switches; 6 downlinks + 2 uplinks (one per leaf-root pair).
+    assert graph.number_of_nodes() == 9
+    assert graph.number_of_edges() == 8
+    kinds = nx.get_node_attributes(graph, "kind")
+    assert sum(1 for kind in kinds.values() if kind == "switch") == 3
+
+
+def test_graph_is_connected():
+    for topo in (SingleSwitchTopology(4), FatTreeTopology(3, 2, 2)):
+        assert nx.is_connected(topology_graph(topo))
+
+
+def test_switch_hop_count():
+    single = SingleSwitchTopology(4)
+    assert switch_hop_count(single, 0, 3) == 1
+    assert switch_hop_count(single, 2, 2) == 0
+    tree = FatTreeTopology(2, 2, 1)
+    assert switch_hop_count(tree, 0, 1) == 1  # same leaf
+    assert switch_hop_count(tree, 0, 3) == 3  # via root
+
+
+def test_single_switch_bisection_is_half_the_nodes():
+    assert bisection_width(SingleSwitchTopology(18)) == 9
+    assert bisection_width(SingleSwitchTopology(4)) == 2
+
+
+def test_fat_tree_bisection_limited_by_uplinks():
+    # 2 leaves x 4 nodes: the halves align with the leaves, so the cut is
+    # the leaf-to-root uplinks — one per root.
+    assert bisection_width(FatTreeTopology(2, 4, root_count=1)) == 1
+    assert bisection_width(FatTreeTopology(2, 4, root_count=2)) == 2
+
+
+def test_bisection_requires_two_nodes():
+    with pytest.raises(ConfigurationError):
+        bisection_width(SingleSwitchTopology(1))
+
+
+def test_oversubscription_ratio():
+    balanced = FatTreeTopology(leaf_count=2, nodes_per_leaf=2, root_count=2)
+    assert oversubscription_ratio(balanced) == pytest.approx(1.0)
+    oversubscribed = FatTreeTopology(leaf_count=2, nodes_per_leaf=8, root_count=2)
+    assert oversubscription_ratio(oversubscribed) == pytest.approx(4.0)

@@ -1,0 +1,67 @@
+"""Tests for packets and packetization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network import packet_count, packetize
+
+
+def test_small_message_is_one_packet():
+    packets = packetize(0, 1024, 2048, src_node=0, dst_node=1)
+    assert len(packets) == 1
+    assert packets[0].size == 1024
+    assert packets[0].last
+
+
+def test_exact_multiple_splits_evenly():
+    packets = packetize(0, 4096, 2048, 0, 1)
+    assert [p.size for p in packets] == [2048, 2048]
+    assert [p.last for p in packets] == [False, True]
+
+
+def test_remainder_goes_to_last_packet():
+    packets = packetize(0, 5000, 2048, 0, 1)
+    assert [p.size for p in packets] == [2048, 2048, 904]
+    assert sum(p.size for p in packets) == 5000
+
+
+def test_zero_byte_message_costs_one_packet():
+    packets = packetize(0, 0, 2048, 0, 1)
+    assert len(packets) == 1
+    assert packets[0].size == 0
+    assert packets[0].last
+
+
+def test_sequence_numbers_and_endpoints():
+    packets = packetize(7, 6000, 2048, src_node=3, dst_node=9)
+    assert [p.seq for p in packets] == [0, 1, 2]
+    assert all(p.message_id == 7 for p in packets)
+    assert all(p.src_node == 3 and p.dst_node == 9 for p in packets)
+
+
+def test_packet_count_matches_packetize():
+    for nbytes in [0, 1, 2047, 2048, 2049, 100_000]:
+        assert packet_count(nbytes, 2048) == len(packetize(0, nbytes, 2048, 0, 1))
+
+
+def test_invalid_mtu_rejected():
+    with pytest.raises(ConfigurationError):
+        packet_count(100, 0)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ConfigurationError):
+        packet_count(-1, 2048)
+
+
+@given(
+    nbytes=st.integers(min_value=0, max_value=500_000),
+    mtu=st.integers(min_value=64, max_value=65536),
+)
+def test_property_packetize_conserves_bytes(nbytes, mtu):
+    packets = packetize(0, nbytes, mtu, 0, 1)
+    assert sum(p.size for p in packets) == nbytes
+    assert all(0 <= p.size <= mtu for p in packets)
+    assert sum(1 for p in packets if p.last) == 1
+    assert packets[-1].last

@@ -1,0 +1,42 @@
+"""Tests for the parallel experiment driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import default_worker_count, map_experiments
+
+
+def _square(x):
+    return x * x
+
+
+def test_serial_map_preserves_order():
+    assert map_experiments(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+
+def test_empty_items():
+    assert map_experiments(_square, [], workers=1) == []
+
+
+def test_single_item_runs_in_process():
+    assert map_experiments(_square, [7], workers=4) == [49]
+
+
+def test_default_worker_count_positive():
+    assert default_worker_count() >= 1
+
+
+def test_invalid_workers_rejected():
+    with pytest.raises(ConfigurationError):
+        map_experiments(_square, [1], workers=0)
+
+
+def test_invalid_chunksize_rejected():
+    with pytest.raises(ConfigurationError):
+        map_experiments(_square, [1], chunksize=0)
+
+
+def test_process_pool_path():
+    """Runs through the pool when workers > 1 and multiple items exist."""
+    results = map_experiments(_square, list(range(8)), workers=2, chunksize=2)
+    assert results == [x * x for x in range(8)]

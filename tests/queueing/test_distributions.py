@@ -1,0 +1,69 @@
+"""Tests for ServiceEstimate calibration statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EstimationError
+from repro.queueing import ServiceEstimate
+
+
+def test_from_samples_basic_stats():
+    est = ServiceEstimate.from_samples([1.0, 2.0, 3.0])
+    assert est.mean == pytest.approx(2.0)
+    assert est.variance == pytest.approx(1.0)  # ddof=1
+    assert est.minimum == 1.0
+    assert est.sample_count == 3
+
+
+def test_rate_is_reciprocal_mean():
+    est = ServiceEstimate.from_samples([0.5, 0.5, 0.5, 0.5])
+    assert est.rate == pytest.approx(2.0)
+
+
+def test_scv_and_second_moment():
+    est = ServiceEstimate(mean=2.0, variance=1.0, minimum=1.0, sample_count=10)
+    assert est.scv == pytest.approx(0.25)
+    assert est.second_moment == pytest.approx(5.0)
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(EstimationError, match="at least 2"):
+        ServiceEstimate.from_samples([1.0])
+
+
+def test_nonpositive_samples_rejected():
+    with pytest.raises(EstimationError):
+        ServiceEstimate.from_samples([1.0, 0.0])
+    with pytest.raises(EstimationError):
+        ServiceEstimate.from_samples([1.0, -2.0])
+
+
+def test_nonfinite_samples_rejected():
+    with pytest.raises(EstimationError):
+        ServiceEstimate.from_samples([1.0, float("inf")])
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(EstimationError):
+        ServiceEstimate(mean=0.0, variance=0.0, minimum=0.0, sample_count=2)
+    with pytest.raises(EstimationError):
+        ServiceEstimate(mean=1.0, variance=-0.1, minimum=1.0, sample_count=2)
+
+
+def test_recovers_lognormal_parameters():
+    rng = np.random.default_rng(0)
+    samples = rng.lognormal(mean=np.log(0.8e-6), sigma=0.3, size=20_000)
+    est = ServiceEstimate.from_samples(samples)
+    true_mean = 0.8e-6 * np.exp(0.3**2 / 2)
+    assert est.mean == pytest.approx(true_mean, rel=0.02)
+
+
+@given(st.lists(st.floats(min_value=1e-9, max_value=1e-3), min_size=2, max_size=200))
+def test_property_estimate_bounds(samples):
+    est = ServiceEstimate.from_samples(samples)
+    # Tolerances absorb float rounding in the mean of near-identical samples.
+    assert est.minimum <= est.mean * (1 + 1e-12)
+    assert est.mean <= max(samples) * (1 + 1e-12)
+    assert est.variance >= 0.0
+    assert est.rate > 0.0

@@ -1,0 +1,92 @@
+"""Tests for the P–K inversion (paper Eq. 3) and round-trip properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EstimationError
+from repro.queueing import (
+    MG1,
+    arrival_rate_from_sojourn,
+    sojourn_from_utilization,
+    utilization_from_sojourn,
+)
+
+
+MU = 1.25e6  # ~0.8µs mean service, Cab-like
+VAR = (0.4e-6) ** 2
+
+
+def test_idle_latency_maps_to_zero_utilization():
+    rho = utilization_from_sojourn(1.0 / MU, MU, VAR)
+    assert rho == 0.0
+
+
+def test_roundtrip_through_forward_model():
+    """λ → W (P–K) → λ (Eq. 3) is the identity on the stable region."""
+    for rho in [0.05, 0.3, 0.5, 0.75, 0.9, 0.99]:
+        lam = rho * MU
+        sojourn = MG1(lam, MU, VAR).sojourn_time
+        estimate = arrival_rate_from_sojourn(sojourn, MU, VAR)
+        assert estimate == pytest.approx(lam, rel=1e-9)
+
+
+def test_latency_below_idle_clamps_to_zero():
+    assert utilization_from_sojourn(0.5 / MU, MU, VAR) == 0.0
+
+
+def test_latency_below_idle_raises_when_not_clamping():
+    with pytest.raises(EstimationError, match="below"):
+        utilization_from_sojourn(0.5 / MU, MU, VAR, clamp=False)
+
+
+def test_huge_latency_estimates_near_saturation_but_stays_below_one():
+    rho = utilization_from_sojourn(1e4 / MU, MU, VAR)
+    assert 0.99 < rho < 1.0
+
+
+def test_monotone_in_observed_latency():
+    latencies = [1.1 / MU, 1.5 / MU, 2.0 / MU, 4.0 / MU, 10.0 / MU]
+    rhos = [utilization_from_sojourn(w, MU, VAR) for w in latencies]
+    assert rhos == sorted(rhos)
+    assert all(0.0 <= r < 1.0 for r in rhos)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(EstimationError):
+        arrival_rate_from_sojourn(-1.0, MU, VAR)
+    with pytest.raises(EstimationError):
+        arrival_rate_from_sojourn(1.0, 0.0, VAR)
+    with pytest.raises(EstimationError):
+        arrival_rate_from_sojourn(1.0, MU, -1.0)
+    with pytest.raises(EstimationError):
+        arrival_rate_from_sojourn(float("nan"), MU, VAR)
+
+
+def test_sojourn_from_utilization_validates_range():
+    with pytest.raises(EstimationError):
+        sojourn_from_utilization(1.0, MU, VAR)
+    with pytest.raises(EstimationError):
+        sojourn_from_utilization(-0.1, MU, VAR)
+
+
+@given(
+    rho=st.floats(min_value=0.0, max_value=0.98),
+    scv=st.floats(min_value=0.0, max_value=4.0),
+    mu=st.floats(min_value=1e3, max_value=1e8),
+)
+def test_property_roundtrip_rho(rho, scv, mu):
+    """ρ → W → ρ round-trips for any service distribution variance."""
+    var = scv / mu**2
+    sojourn = sojourn_from_utilization(rho, mu, var)
+    back = utilization_from_sojourn(sojourn, mu, var)
+    assert back == pytest.approx(rho, abs=1e-7)
+
+
+@given(
+    w_scale=st.floats(min_value=1.0, max_value=1e4),
+)
+def test_property_estimates_always_in_unit_interval(w_scale):
+    rho = utilization_from_sojourn(w_scale / MU, MU, VAR)
+    assert 0.0 <= rho < 1.0

@@ -1,0 +1,48 @@
+"""Tests for M/M/1 closed forms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EstimationError
+from repro.queueing import MM1
+
+
+def test_sojourn_time_closed_form():
+    queue = MM1(arrival_rate=3.0, service_rate=5.0)
+    assert queue.sojourn_time == pytest.approx(0.5)
+
+
+def test_waiting_plus_service_is_sojourn():
+    queue = MM1(arrival_rate=3.0, service_rate=5.0)
+    assert queue.waiting_time + 1.0 / queue.service_rate == pytest.approx(queue.sojourn_time)
+
+
+def test_mean_in_system():
+    queue = MM1(arrival_rate=5.0, service_rate=10.0)
+    assert queue.mean_in_system == pytest.approx(1.0)  # rho/(1-rho) = 0.5/0.5
+
+
+def test_probabilities_sum_to_one():
+    queue = MM1(arrival_rate=4.0, service_rate=10.0)
+    total = sum(queue.prob_n_in_system(n) for n in range(200))
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+def test_prob_negative_count_rejected():
+    queue = MM1(arrival_rate=1.0, service_rate=2.0)
+    with pytest.raises(ValueError):
+        queue.prob_n_in_system(-1)
+
+
+def test_unstable_rejected():
+    with pytest.raises(EstimationError):
+        MM1(arrival_rate=2.0, service_rate=2.0)
+
+
+@given(
+    lam=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_property_littles_law(lam):
+    queue = MM1(arrival_rate=lam, service_rate=1.0)
+    assert queue.mean_in_system == pytest.approx(lam * queue.sojourn_time, rel=1e-9)
+    assert queue.mean_queue_length == pytest.approx(lam * queue.waiting_time, rel=1e-9)

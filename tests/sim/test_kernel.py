@@ -1,0 +1,221 @@
+"""Tests for the discrete-event kernel ordering and execution semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_schedule_executes_in_time_order():
+    sim = Simulator()
+    hits = []
+    sim.schedule(2.0, hits.append, "late")
+    sim.schedule(1.0, hits.append, "early")
+    sim.schedule(3.0, hits.append, "latest")
+    sim.run()
+    assert hits == ["early", "late", "latest"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    hits = []
+    for label in "abcde":
+        sim.schedule(1.0, hits.append, label)
+    sim.run()
+    assert hits == list("abcde")
+
+
+def test_clock_advances_to_callback_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_zero_delay_runs_at_current_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nan_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(9.0, lambda: None)
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, "in")
+    sim.schedule(5.0, hits.append, "out")
+    sim.run(until=2.0)
+    assert hits == ["in"]
+    assert sim.now == 2.0
+    # Remaining work still runs on a later call.
+    sim.run()
+    assert hits == ["in", "out"]
+
+
+def test_run_until_advances_clock_even_with_empty_heap():
+    sim = Simulator()
+    sim.run(until=3.0)
+    assert sim.now == 3.0
+
+
+def test_callbacks_scheduled_during_run_execute():
+    sim = Simulator()
+    hits = []
+
+    def chain(n):
+        hits.append(n)
+        if n < 4:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert hits == [0, 1, 2, 3, 4]
+    assert sim.now == 4.0
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    hits = []
+    handle = sim.schedule_cancellable(1.0, hits.append, "x")
+    handle.cancel()
+    sim.run()
+    assert hits == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule_cancellable(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_max_events_budget_raises():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError, match="budget"):
+        sim.run(max_events=3)
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_step_executes_single_callback():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1.0, hits.append, "a")
+    sim.schedule(2.0, hits.append, "b")
+    assert sim.step() is True
+    assert hits == ["a"]
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0.0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+    event = sim.event("done")
+    sim.schedule(2.0, event.succeed, 42)
+    assert sim.run_until_event(event) == 42
+    assert sim.now == 2.0
+
+
+def test_run_until_event_raises_if_sim_dries_out():
+    sim = Simulator()
+    event = sim.event("never")
+    with pytest.raises(SimulationError, match="dry"):
+        sim.run_until_event(event)
+
+
+def test_callback_exception_propagates():
+    sim = Simulator()
+
+    def boom():
+        raise ValueError("boom")
+
+    sim.schedule(1.0, boom)
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=60))
+def test_property_execution_order_is_sorted_by_time(delays):
+    """Whatever the insertion order, execution times are non-decreasing."""
+    sim = Simulator()
+    times = []
+    for delay in delays:
+        sim.schedule(delay, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False), st.integers()),
+        max_size=40,
+    )
+)
+def test_property_equal_times_preserve_fifo(pairs):
+    """Entries at identical times run in insertion order."""
+    sim = Simulator()
+    out = []
+    for time, payload in pairs:
+        sim.schedule(time, out.append, (time, payload))
+    sim.run()
+    # Stable sort of the input by time must equal execution order.
+    assert out == sorted(pairs, key=lambda pair: pair[0])

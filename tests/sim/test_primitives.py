@@ -1,0 +1,136 @@
+"""Tests for Resource and Store primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, Store
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    assert res.acquire().triggered
+    assert res.acquire().triggered
+    assert not res.acquire().triggered
+    assert res.in_use == 2
+    assert res.queue_length == 1
+
+
+def test_resource_fifo_handoff_on_release():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.acquire()
+    second = res.acquire()
+    third = res.acquire()
+    assert first.triggered and not second.triggered and not third.triggered
+    res.release()
+    assert second.triggered and not third.triggered
+    res.release()
+    assert third.triggered
+
+
+def test_resource_release_while_idle_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_resource_serializes_processes():
+    """Two processes sharing a unit-capacity resource run back to back."""
+    sim = Simulator()
+    spans = []
+
+    def worker(label, hold):
+        yield res.acquire()
+        start = sim.now
+        yield hold
+        res.release()
+        spans.append((label, start, sim.now))
+
+    res = Resource(sim, capacity=1)
+    sim.spawn(worker("a", 2.0), "a")
+    sim.spawn(worker("b", 3.0), "b")
+    sim.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    event = store.get()
+    assert event.triggered
+    assert event.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    event = store.get()
+    assert not event.triggered
+    store.put("y")
+    assert event.triggered
+    assert event.value == "y"
+
+
+def test_store_fifo_order_of_items():
+    sim = Simulator()
+    store = Store(sim)
+    for item in [1, 2, 3]:
+        store.put(item)
+    assert [store.get().value for _ in range(3)] == [1, 2, 3]
+
+
+def test_store_fifo_order_of_getters():
+    sim = Simulator()
+    store = Store(sim)
+    first = store.get()
+    second = store.get()
+    store.put("a")
+    store.put("b")
+    assert first.value == "a"
+    assert second.value == "b"
+
+
+def test_store_len_and_peek():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    assert store.peek() is None
+    store.put("z")
+    assert len(store) == 1
+    assert store.peek() == "z"
+    assert len(store) == 1  # peek does not consume
+
+
+def test_store_waiting_getters_counter():
+    sim = Simulator()
+    store = Store(sim)
+    store.get()
+    store.get()
+    assert store.waiting_getters == 2
+    store.put(0)
+    assert store.waiting_getters == 1
+
+
+@given(st.lists(st.integers(), max_size=50))
+def test_property_store_preserves_sequence(items):
+    """put/get round-trips any item sequence in order."""
+    sim = Simulator()
+    store = Store(sim)
+    for item in items:
+        store.put(item)
+    assert [store.get().value for _ in items] == items

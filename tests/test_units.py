@@ -1,0 +1,58 @@
+"""Tests for unit constants and conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants():
+    assert units.US == 1e-6
+    assert units.MS == 1e-3
+    assert units.NS == 1e-9
+    assert units.S == 1.0
+
+
+def test_data_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024**2
+    assert units.GB == 1024**3
+
+
+def test_cycles_roundtrip():
+    seconds = units.cycles_to_seconds(2.6e9, 2.6e9)
+    assert seconds == pytest.approx(1.0)
+    assert units.seconds_to_cycles(seconds, 2.6e9) == pytest.approx(2.6e9)
+
+
+def test_paper_sleep_values():
+    # CompressionB's B parameter at Cab's 2.6 GHz clock.
+    assert units.cycles_to_seconds(2.5e4, 2.6e9) == pytest.approx(9.615e-6, rel=1e-3)
+    assert units.cycles_to_seconds(2.5e7, 2.6e9) == pytest.approx(9.615e-3, rel=1e-3)
+
+
+def test_cycle_conversion_validation():
+    with pytest.raises(ValueError):
+        units.cycles_to_seconds(1.0, 0.0)
+    with pytest.raises(ValueError):
+        units.cycles_to_seconds(-1.0, 1e9)
+    with pytest.raises(ValueError):
+        units.seconds_to_cycles(-1.0, 1e9)
+    with pytest.raises(ValueError):
+        units.seconds_to_cycles(1.0, -1e9)
+
+
+def test_format_time():
+    assert units.format_time(0.5e-9) == "0.5ns"
+    assert units.format_time(1.25e-6) == "1.25µs"
+    assert units.format_time(3.5e-3) == "3.50ms"
+    assert units.format_time(2.0) == "2.000s"
+    assert units.format_time(-1.25e-6) == "-1.25µs"
+
+
+def test_format_bytes():
+    assert units.format_bytes(512) == "512B"
+    assert units.format_bytes(2048) == "2.0KB"
+    assert units.format_bytes(40 * 1024) == "40.0KB"
+    assert units.format_bytes(3 * 1024**2) == "3.0MB"
+    assert units.format_bytes(5 * 1024**3) == "5.00GB"
+    assert units.format_bytes(-2048) == "-2.0KB"

@@ -1,0 +1,68 @@
+"""Tests for workload profiling through the tracer."""
+
+import pytest
+
+from repro.cluster import Machine, PerSocketPlacement, small_test_config
+from repro.mpi import MPIWorld
+from repro.trace import StateTracer
+from repro.trace.profile import profile_workload, render_profile
+from repro.workloads import FFTW, MCB
+
+CFG = small_test_config()
+
+
+def test_mcb_profile_is_compute_dominated():
+    profile = profile_workload(CFG, MCB(iterations=3, track_compute=3e-4))
+    assert profile.compute_fraction > 0.7
+    assert not profile.comm_bound
+    assert profile.rank_count == 8
+    assert profile.elapsed > 0
+
+
+def test_fftw_profile_is_wait_dominated():
+    profile = profile_workload(CFG, FFTW(iterations=1, pack_compute=1e-5))
+    assert profile.comm_bound
+    assert profile.wait_fraction > 0.5
+
+
+def test_profile_per_rank_breakdown():
+    profile = profile_workload(CFG, MCB(iterations=2, track_compute=2e-4))
+    assert set(profile.per_rank_wait) == set(range(8))
+    assert all(0 <= value <= 1 for value in profile.per_rank_wait.values())
+
+
+def test_tracer_disabled_by_default_records_nothing():
+    machine = Machine(CFG)
+    app = MCB(iterations=1, track_compute=1e-4)
+    world = MPIWorld.create(machine, app.preferred_placement(CFG), name="x")
+    job = world.launch(app)
+    machine.sim.run_until_event(job.done)
+    assert world.tracer is None  # nothing was traced, no overhead
+
+
+def test_blocking_wait_intervals_recorded():
+    machine = Machine(CFG)
+    tracer = StateTracer()
+    world = MPIWorld.create(machine, PerSocketPlacement(1), name="w", tracer=tracer)
+
+    def workload(ctx):
+        if ctx.rank == 0:
+            yield from ctx.compute(1e-4)
+            yield from ctx.comm.send(2, 1024, tag=1)
+        elif ctx.rank == 2:
+            yield from ctx.comm.recv(0, tag=1)  # blocks ~1e-4 s
+        return None
+        yield
+
+    job = world.launch(workload)
+    machine.sim.run_until_event(job.done)
+    assert tracer.totals(rank=2)["wait"] == pytest.approx(1e-4, rel=0.2)
+    assert tracer.totals(rank=0)["compute"] == pytest.approx(1e-4, rel=0.01)
+
+
+def test_render_profile_text():
+    profile = profile_workload(CFG, MCB(iterations=2, track_compute=2e-4))
+    text = render_profile(profile)
+    assert "mcb" in text
+    assert "compute" in text and "wait" in text
+    assert "%" in text

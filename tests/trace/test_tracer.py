@@ -1,0 +1,80 @@
+"""Tests for the state tracer."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.trace import COMPUTE, SLEEP, WAIT, StateTracer
+
+
+def test_record_and_totals():
+    tracer = StateTracer()
+    tracer.record(0, COMPUTE, 0.0, 2.0)
+    tracer.record(0, WAIT, 2.0, 3.0)
+    tracer.record(1, COMPUTE, 0.0, 1.0)
+    totals = tracer.totals()
+    assert totals[COMPUTE] == pytest.approx(3.0)
+    assert totals[WAIT] == pytest.approx(1.0)
+    assert totals[SLEEP] == 0.0
+
+
+def test_per_rank_totals():
+    tracer = StateTracer()
+    tracer.record(0, COMPUTE, 0.0, 2.0)
+    tracer.record(1, WAIT, 0.0, 4.0)
+    assert tracer.totals(rank=0)[COMPUTE] == 2.0
+    assert tracer.totals(rank=0)[WAIT] == 0.0
+    assert tracer.totals(rank=1)[WAIT] == 4.0
+
+
+def test_fractions_normalized():
+    tracer = StateTracer()
+    tracer.record(0, COMPUTE, 0.0, 3.0)
+    tracer.record(0, WAIT, 3.0, 4.0)
+    fractions = tracer.fractions()
+    assert fractions[COMPUTE] == pytest.approx(0.75)
+    assert fractions[WAIT] == pytest.approx(0.25)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_fractions_of_empty_tracer_are_zero():
+    fractions = StateTracer().fractions()
+    assert all(value == 0.0 for value in fractions.values())
+
+
+def test_wait_fraction():
+    tracer = StateTracer()
+    tracer.record(0, WAIT, 0.0, 1.0)
+    tracer.record(0, COMPUTE, 1.0, 2.0)
+    assert tracer.wait_fraction() == pytest.approx(0.5)
+
+
+def test_invalid_state_rejected():
+    with pytest.raises(ExperimentError, match="unknown"):
+        StateTracer().record(0, "daydreaming", 0.0, 1.0)
+
+
+def test_backwards_interval_rejected():
+    with pytest.raises(ExperimentError, match="before"):
+        StateTracer().record(0, COMPUTE, 2.0, 1.0)
+
+
+def test_zero_length_interval_allowed():
+    tracer = StateTracer()
+    tracer.record(0, WAIT, 1.0, 1.0)
+    assert tracer.interval_count == 1
+
+
+def test_intervals_filter_and_ranks():
+    tracer = StateTracer()
+    tracer.record(3, COMPUTE, 0.0, 1.0)
+    tracer.record(1, COMPUTE, 0.0, 1.0)
+    tracer.record(3, WAIT, 1.0, 2.0)
+    assert len(tracer.intervals(rank=3)) == 2
+    assert tracer.ranks() == [1, 3]
+
+
+def test_clear():
+    tracer = StateTracer()
+    tracer.record(0, COMPUTE, 0.0, 1.0)
+    tracer.clear()
+    assert tracer.interval_count == 0

@@ -1,0 +1,137 @@
+"""Tests for the six application skeletons."""
+
+import pytest
+
+from repro.cluster import Machine, cab_config, small_test_config
+from repro.errors import ConfigurationError
+from repro.mpi import MPIWorld
+from repro.workloads import AMG, FFTW, Lulesh, MCB, MILC, VPFFT, looped
+from repro.workloads.base import cubic_rank_count, half_core_placement
+
+
+SMALL_APPS = [
+    FFTW(iterations=1, pack_compute=5e-5),
+    VPFFT(iterations=1, stress_compute=1e-4),
+    MILC(iterations=3, compute_per_iter=5e-5),
+    Lulesh(iterations=3, compute_per_iter=1e-4),
+    MCB(iterations=3, track_compute=1e-4),
+    AMG(cycles=2, dense_compute=1e-4, sparse_iterations=2),
+]
+
+
+def _run(app, seed=0):
+    machine = Machine(small_test_config(seed=seed))
+    world = MPIWorld.create(machine, app.preferred_placement(machine.config), name=app.name)
+    job = world.launch(app)
+    machine.sim.run_until_event(job.done, max_events=5_000_000)
+    return machine, world, job
+
+
+@pytest.mark.parametrize("app", SMALL_APPS, ids=lambda a: a.name)
+def test_app_completes_on_small_machine(app):
+    machine, world, job = _run(app)
+    assert job.finished
+    assert job.elapsed > 0
+
+
+@pytest.mark.parametrize("app", SMALL_APPS, ids=lambda a: a.name)
+def test_app_generates_network_traffic(app):
+    machine, world, job = _run(app)
+    assert machine.network.switch(0).stats.arrivals > 0
+
+
+@pytest.mark.parametrize("app", SMALL_APPS, ids=lambda a: a.name)
+def test_app_runtime_reproducible(app):
+    elapsed = []
+    for _ in range(2):
+        _, _, job = _run(app, seed=11)
+        elapsed.append(job.elapsed)
+    assert elapsed[0] == elapsed[1]
+
+
+def test_apps_use_half_core_placement_on_cab():
+    config = cab_config()
+    for app in (FFTW(), VPFFT(), MILC(), MCB(), AMG()):
+        machine = Machine(config)
+        world = MPIWorld.create(machine, app.preferred_placement(config), name=app.name)
+        assert world.size == 144  # 4/socket x 2 sockets x 18 nodes
+
+
+def test_lulesh_uses_cubic_count_on_cab():
+    config = cab_config()
+    machine = Machine(config)
+    app = Lulesh()
+    world = MPIWorld.create(machine, app.preferred_placement(config), name="lulesh")
+    assert world.size == 64  # 2/socket on 16 nodes, exactly the paper
+    assert len(world.node_ids) == 16
+
+
+def test_cubic_rank_count_on_cab():
+    assert cubic_rank_count(cab_config()) == (4, 2, 16)
+
+
+def test_cubic_rank_count_small():
+    # 4 nodes x 2 sockets x 1 rank/socket = 8 = 2^3.
+    assert cubic_rank_count(small_test_config()) == (2, 1, 4)
+
+
+def test_half_core_placement_leaves_room_for_probes():
+    """The paper's layouts: one app + both probes fit, or two apps exactly
+    fill the sockets (the co-run configuration)."""
+    from repro.cluster import PerSocketPlacement
+
+    config = cab_config()
+    machine = Machine(config)
+    MPIWorld.create(machine, half_core_placement(config), name="app")
+    MPIWorld.create(machine, PerSocketPlacement(1), name="impactb")
+    MPIWorld.create(machine, PerSocketPlacement(1), name="compressionb")
+
+    corun = Machine(config)
+    MPIWorld.create(corun, half_core_placement(config), name="a")
+    MPIWorld.create(corun, half_core_placement(config), name="b")
+
+
+def test_looped_workload_repeats_forever():
+    machine = Machine(small_test_config())
+    app = MCB(iterations=1, track_compute=1e-4)
+    world = MPIWorld.create(machine, app.preferred_placement(machine.config), name="loop")
+    world.launch(looped(app))
+    machine.sim.run(until=0.05)
+    # One iteration takes ~0.1ms; after 50ms the loop must have cycled many
+    # times (a finite job would long since have drained the event heap).
+    assert machine.sim.events_executed > 1000
+
+
+def test_app_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        FFTW(iterations=0)
+    with pytest.raises(ConfigurationError):
+        VPFFT(bytes_per_pair=0)
+    with pytest.raises(ConfigurationError):
+        MILC(halo_bytes=0)
+    with pytest.raises(ConfigurationError):
+        Lulesh(iterations=0)
+    with pytest.raises(ConfigurationError):
+        MCB(census_every=0)
+    with pytest.raises(ConfigurationError):
+        AMG(cycles=0)
+
+
+def test_fftw_more_iterations_run_longer():
+    short = _run(FFTW(iterations=1, pack_compute=5e-5))[2].elapsed
+    long = _run(FFTW(iterations=2, pack_compute=5e-5))[2].elapsed
+    assert long > short
+
+
+def test_network_sensitivity_ordering_on_cab():
+    """FFTW devotes a far larger share of its time to the network than MCB —
+    the root cause of the paper's Fig. 7 ordering."""
+    shares = {}
+    for app in (FFTW(iterations=1), MCB(iterations=3)):
+        machine = Machine(cab_config())
+        world = MPIWorld.create(machine, app.preferred_placement(machine.config), name=app.name)
+        job = world.launch(app)
+        machine.sim.run_until_event(job.done)
+        stats = machine.network.switch(0).stats
+        shares[app.name] = stats.busy_time / job.elapsed
+    assert shares["fftw"] > 3 * shares["mcb"]

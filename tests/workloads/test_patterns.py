@@ -1,0 +1,84 @@
+"""Tests for grid decompositions and halo exchange."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads import balanced_grid, grid_coords, grid_rank, torus_neighbors
+
+
+def test_balanced_grid_cab_sizes():
+    assert balanced_grid(144, 3) == (6, 6, 4)
+    assert balanced_grid(144, 4) == (4, 4, 3, 3)
+    assert balanced_grid(64, 3) == (4, 4, 4)
+
+
+def test_balanced_grid_product_is_size():
+    for size in [1, 2, 7, 12, 60, 144]:
+        for dims in [1, 2, 3, 4]:
+            shape = balanced_grid(size, dims)
+            product = 1
+            for extent in shape:
+                product *= extent
+            assert product == size
+            assert len(shape) == dims
+
+
+def test_balanced_grid_prime_size():
+    assert balanced_grid(13, 3) == (13, 1, 1)
+
+
+def test_balanced_grid_validation():
+    with pytest.raises(ConfigurationError):
+        balanced_grid(0, 3)
+    with pytest.raises(ConfigurationError):
+        balanced_grid(4, 0)
+
+
+def test_grid_coords_roundtrip():
+    shape = (3, 4, 5)
+    for rank in range(60):
+        assert grid_rank(grid_coords(rank, shape), shape) == rank
+
+
+def test_grid_coords_out_of_range():
+    with pytest.raises(ConfigurationError):
+        grid_coords(60, (3, 4, 5))
+    with pytest.raises(ConfigurationError):
+        grid_rank((3, 0, 0), (3, 4, 5))
+
+
+def test_torus_neighbors_3d_interior():
+    shape = (4, 4, 4)
+    neighbors = torus_neighbors(21, shape)  # (1, 1, 1)
+    assert len(neighbors) == 6
+    assert 21 not in neighbors
+
+
+def test_torus_neighbors_wraparound():
+    shape = (3, 1, 1)
+    assert sorted(torus_neighbors(0, shape)) == [1, 2]
+
+
+def test_torus_neighbors_degenerate_axes():
+    # extent-1 axes contribute nothing; extent-2 axes contribute one neighbour.
+    assert torus_neighbors(0, (2, 1, 1)) == [1]
+    assert torus_neighbors(0, (1, 1, 1)) == []
+
+
+def test_torus_neighbors_symmetric():
+    """If b is a neighbour of a, then a is a neighbour of b."""
+    shape = (3, 4, 2)
+    for rank in range(24):
+        for neighbor in torus_neighbors(rank, shape):
+            assert rank in torus_neighbors(neighbor, shape)
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=4))
+def test_property_neighbors_valid_and_self_free(size, dims):
+    shape = balanced_grid(size, dims)
+    for rank in range(0, size, max(1, size // 7)):
+        neighbors = torus_neighbors(rank, shape)
+        assert rank not in neighbors
+        assert len(neighbors) == len(set(neighbors))
+        assert all(0 <= n < size for n in neighbors)

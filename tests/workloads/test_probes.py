@@ -1,0 +1,167 @@
+"""Tests for the ImpactB and CompressionB micro-benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, PerSocketPlacement, small_test_config
+from repro.core.measurement import LatencyCollector
+from repro.errors import ConfigurationError
+from repro.mpi import MPIWorld
+from repro.units import MS, US
+from repro.workloads import CompressionB, CompressionConfig, ImpactB
+
+
+def _machine(nodes=4, seed=0):
+    return Machine(small_test_config(seed=seed, node_count=nodes))
+
+
+def _launch_probe(machine, collector, **kwargs):
+    probe = ImpactB(collector, interval=0.2 * MS, **kwargs)
+    world = MPIWorld.create(machine, probe.preferred_placement(machine.config), name="probe")
+    world.launch(probe)
+    return probe
+
+
+def test_impactb_collects_samples_on_idle_switch():
+    machine = _machine()
+    collector = LatencyCollector()
+    _launch_probe(machine, collector)
+    machine.sim.run(until=0.02)
+    assert collector.count > 50
+    values = collector.values()
+    # Idle latency should be around a microsecond, far below a millisecond.
+    assert 0.2 * US < values.mean() < 5 * US
+
+
+def test_impactb_only_initiators_record():
+    machine = _machine()
+    collector = LatencyCollector()
+    _launch_probe(machine, collector)
+    machine.sim.run(until=0.01)
+    # 4 nodes -> 2 node pairs; initiators live on nodes 0 and 2.
+    recording_nodes = {r // 2 for r in collector.ranks()}
+    assert recording_nodes == {0, 2}
+
+
+def test_impactb_odd_node_count_leaves_last_node_idle():
+    machine = _machine(nodes=3)
+    collector = LatencyCollector()
+    _launch_probe(machine, collector)
+    machine.sim.run(until=0.01)
+    assert collector.count > 0
+    recording_nodes = {r // 2 for r in collector.ranks()}
+    assert recording_nodes == {0}
+
+
+def test_impactb_probe_load_is_negligible():
+    machine = _machine()
+    collector = LatencyCollector()
+    _launch_probe(machine, collector)
+    machine.sim.run(until=0.02)
+    assert machine.network.true_utilization() < 0.02
+
+
+def test_impactb_deterministic_across_identical_runs():
+    results = []
+    for _ in range(2):
+        machine = _machine(seed=3)
+        collector = LatencyCollector()
+        _launch_probe(machine, collector)
+        machine.sim.run(until=0.01)
+        results.append(tuple(collector.values()))
+    assert results[0] == results[1]
+
+
+def test_impactb_without_jitter_paces_regularly():
+    machine = _machine()
+    collector = LatencyCollector()
+    _launch_probe(machine, collector, jitter=False, warmup=False)
+    machine.sim.run(until=0.01)
+    times = collector.times()
+    one_rank = times[collector.ranks() == collector.ranks()[0]]
+    gaps = np.diff(one_rank)
+    assert np.allclose(gaps, 0.2 * MS, rtol=0.2)
+
+
+def test_impactb_validation():
+    with pytest.raises(ConfigurationError):
+        ImpactB(LatencyCollector(), message_bytes=0)
+    with pytest.raises(ConfigurationError):
+        ImpactB(LatencyCollector(), interval=0.0)
+
+
+# ----------------------------------------------------------------------
+# CompressionB
+# ----------------------------------------------------------------------
+def test_compression_config_validation():
+    with pytest.raises(ConfigurationError):
+        CompressionConfig(0, 1, 1e4)
+    with pytest.raises(ConfigurationError):
+        CompressionConfig(1, 0, 1e4)
+    with pytest.raises(ConfigurationError):
+        CompressionConfig(1, 1, -1)
+    with pytest.raises(ConfigurationError):
+        CompressionConfig(1, 1, 1e4, message_bytes=0)
+
+
+def test_compression_config_label():
+    assert CompressionConfig(7, 10, 2.5e6).label == "P7xM10xB2.5e+06"
+
+
+def test_compressionb_generates_switch_traffic():
+    machine = _machine()
+    comp = CompressionB(CompressionConfig(1, 1, 2.5e5))
+    world = MPIWorld.create(machine, comp.preferred_placement(machine.config), name="comp")
+    world.launch(comp)
+    machine.sim.run(until=0.01)
+    assert machine.network.switch(0).stats.arrivals > 0
+    assert machine.network.true_utilization() > 0.0
+
+
+def test_compressionb_shorter_sleep_means_more_load():
+    utils = {}
+    for cycles in [2.5e4, 2.5e6]:
+        machine = _machine()
+        comp = CompressionB(CompressionConfig(2, 1, cycles))
+        world = MPIWorld.create(machine, comp.preferred_placement(machine.config), name="comp")
+        world.launch(comp)
+        machine.sim.run(until=0.02)
+        utils[cycles] = machine.network.true_utilization()
+    assert utils[2.5e4] > utils[2.5e6]
+
+
+def test_compressionb_more_partners_means_more_load():
+    utils = {}
+    for partners in [1, 3]:
+        machine = _machine()
+        comp = CompressionB(CompressionConfig(partners, 1, 2.5e6))
+        world = MPIWorld.create(machine, comp.preferred_placement(machine.config), name="comp")
+        world.launch(comp)
+        machine.sim.run(until=0.02)
+        utils[partners] = machine.network.true_utilization()
+    assert utils[3] > utils[1]
+
+
+def test_compressionb_partner_count_clamped_to_ring():
+    """P larger than the ring is clamped, not an error (paper used P=17
+    on 18 nodes; our test machine has only 4)."""
+    machine = _machine()
+    comp = CompressionB(CompressionConfig(17, 1, 2.5e6))
+    world = MPIWorld.create(machine, comp.preferred_placement(machine.config), name="comp")
+    world.launch(comp)
+    machine.sim.run(until=0.005)
+    assert machine.network.switch(0).stats.arrivals > 0
+
+
+def test_compressionb_single_node_degenerates_to_idle():
+    machine = _machine(nodes=1)
+    comp = CompressionB(CompressionConfig(1, 1, 2.5e5))
+    world = MPIWorld.create(machine, comp.preferred_placement(machine.config), name="comp")
+    world.launch(comp)
+    machine.sim.run(until=0.005)
+    assert machine.network.switch(0).stats.arrivals == 0
+
+
+def test_compressionb_post_overhead_validation():
+    with pytest.raises(ConfigurationError):
+        CompressionB(CompressionConfig(1, 1, 1e4), post_overhead=-1.0)
