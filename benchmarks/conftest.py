@@ -7,11 +7,17 @@ artifact assembly and prints/saves the artifact.
 
 Profile resolution (env var ``REPRO_BENCH_PROFILE``):
 
-* ``paper``  — the full 40-config catalog at Cab scale (uses / fills
-  ``results/paper_cache.json``; a cold run takes ~40 minutes).
+* ``paper``  — the full 40-config catalog at Cab scale (uses / fills the
+  sharded ``results/cache/`` directory; a cold run takes ~40 minutes).
 * ``quick``  — a 10-config catalog with shorter windows (cold: minutes).
-* ``auto``   (default) — ``paper`` when the paper cache already exists,
-  else ``quick``.
+* ``auto``   (default) — ``paper`` when the paper cache (sharded directory
+  or legacy ``paper_cache.json``) already exists, else ``quick``.
+
+Set ``REPRO_BENCH_WORKERS=N`` to fan the pending campaign out over N
+processes up front (``ensure_all``) instead of computing products lazily.
+Pre-sharding monolithic caches (``results/paper_cache.json`` /
+``results/quick_cache.json``) are migrated into the sharded directories
+automatically.
 """
 
 from __future__ import annotations
@@ -24,15 +30,20 @@ import pytest
 from repro.core.experiments import PipelineSettings, ReproductionPipeline
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-PAPER_CACHE = REPO_ROOT / "results" / "paper_cache.json"
-QUICK_CACHE = REPO_ROOT / "results" / "quick_cache.json"
+PAPER_CACHE = REPO_ROOT / "results" / "cache"
+QUICK_CACHE = REPO_ROOT / "results" / "cache-quick"
+LEGACY_PAPER_CACHE = REPO_ROOT / "results" / "paper_cache.json"
+LEGACY_QUICK_CACHE = REPO_ROOT / "results" / "quick_cache.json"
 ARTIFACTS = REPO_ROOT / "results" / "artifacts"
 
 
 def _resolve_profile() -> str:
     requested = os.environ.get("REPRO_BENCH_PROFILE", "auto")
     if requested == "auto":
-        return "paper" if PAPER_CACHE.exists() else "quick"
+        paper_cached = (
+            any(PAPER_CACHE.glob("*.json")) if PAPER_CACHE.is_dir() else False
+        )
+        return "paper" if paper_cached or LEGACY_PAPER_CACHE.exists() else "quick"
     return requested
 
 
@@ -41,7 +52,7 @@ def pipeline() -> ReproductionPipeline:
     profile = _resolve_profile()
     if profile == "paper":
         settings = PipelineSettings(profile="paper")
-        cache = PAPER_CACHE
+        cache, legacy = PAPER_CACHE, LEGACY_PAPER_CACHE
     else:
         settings = PipelineSettings(
             profile="quick",
@@ -49,8 +60,14 @@ def pipeline() -> ReproductionPipeline:
             signature_duration=0.02,
             calibration_duration=0.03,
         )
-        cache = QUICK_CACHE
-    return ReproductionPipeline(settings=settings, cache_path=cache, verbose=True)
+        cache, legacy = QUICK_CACHE, LEGACY_QUICK_CACHE
+    pipeline = ReproductionPipeline(
+        settings=settings, cache_path=cache, legacy_cache=legacy, verbose=True
+    )
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if workers:
+        pipeline.ensure_all(workers=int(workers))
+    return pipeline
 
 
 @pytest.fixture(scope="session")

@@ -1,32 +1,69 @@
-"""Run the full paper-profile reproduction campaign into the results cache.
+"""Run the full reproduction campaign into the sharded results cache.
 
-Usage: python scripts/run_paper_pipeline.py [cache_path]
+Usage: python scripts/run_paper_pipeline.py [--cache results/cache]
+           [--legacy-cache results/paper_cache.json] [--profile paper|quick]
+           [--workers N] [--chunksize N]
 
-Roughly 330 deterministic simulation runs; progress is printed per product.
-Re-running is incremental thanks to the JSON cache.
+Roughly 330 deterministic simulation runs, fanned out over a process pool.
+Each product group is flushed atomically to its own shard as results land,
+so an interrupted campaign resumes from completed shards; a pre-sharding
+monolithic cache is migrated automatically on first load.
 """
 
-import sys
+import argparse
 import time
 
+from repro.analysis import summarize_errors
 from repro.core.experiments import PipelineSettings, ReproductionPipeline
 
 
 def main() -> None:
-    cache = sys.argv[1] if len(sys.argv) > 1 else "results/paper_cache.json"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cache",
+        default="results/cache",
+        help="sharded cache directory (one JSON shard per product group)",
+    )
+    parser.add_argument(
+        "--legacy-cache",
+        default="results/paper_cache.json",
+        help="pre-sharding monolithic cache migrated into --cache on load",
+    )
+    parser.add_argument("--profile", choices=("paper", "quick"), default="paper")
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count (default: all cores but one)",
+    )
+    parser.add_argument(
+        "--chunksize", type=int, default=1, help="experiments per pool submission"
+    )
+    args = parser.parse_args()
+
     start = time.time()
     pipeline = ReproductionPipeline(
-        settings=PipelineSettings(profile="paper"),
-        cache_path=cache,
+        settings=PipelineSettings(profile=args.profile, seed=args.seed),
+        cache_path=args.cache,
+        legacy_cache=args.legacy_cache,
+        workers=args.workers,
+        chunksize=args.chunksize,
         verbose=True,
     )
-    pipeline.ensure_all()
+    stats = pipeline.ensure_all()
     errors = pipeline.prediction_errors()
-    print(f"done in {time.time() - start:.0f}s; cache at {cache}")
+    print(
+        f"done in {time.time() - start:.0f}s "
+        f"({stats['executed']} executed, {stats['cached']} cached, "
+        f"{stats['workers']} worker(s)); cache at {pipeline.cache_path}"
+    )
     for model, table in errors.items():
-        values = sorted(table.values())
-        median = values[len(values) // 2]
-        print(f"  {model:16s} median |error| = {median:.1f}%")
+        summary = summarize_errors(list(table.values()))
+        print(
+            f"  {model:16s} median |error| = {summary.median:.1f}%  "
+            f"(IQR {summary.q1:.1f}–{summary.q3:.1f}%)"
+        )
 
 
 if __name__ == "__main__":

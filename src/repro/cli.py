@@ -5,9 +5,10 @@ Examples::
     repro calibrate
     repro impact fftw
     repro fig6 --profile quick
-    repro table1 --cache results/paper_cache.json
-    repro predict fftw milc --cache results/paper_cache.json
-    repro report --cache results/paper_cache.json
+    repro campaign --workers 4           # run the whole campaign in parallel
+    repro table1 --cache results/cache
+    repro predict fftw milc --cache results/cache
+    repro report --cache results/cache
 """
 
 from __future__ import annotations
@@ -29,22 +30,59 @@ from .core.experiments import PipelineSettings, ReproductionPipeline
 
 __all__ = ["main", "build_parser"]
 
+# Applied after parsing (see build_parser for why not via argparse defaults).
+_COMMON_DEFAULTS = {
+    "profile": "paper",
+    "seed": 0,
+    "cache": "results/cache",
+    "legacy_cache": "results/paper_cache.json",
+    "workers": None,
+    "chunksize": 1,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     # Shared options work both before and after the subcommand
-    # (``repro --cache X table1`` and ``repro table1 --cache X``).
+    # (``repro --cache X table1`` and ``repro table1 --cache X``).  The
+    # options must SUPPRESS their defaults: subparsers parse into a fresh
+    # namespace whose contents overwrite the outer one, so a plain default
+    # (or set_defaults, which rewrites the shared parent actions) silently
+    # clobbers any value given before the subcommand.  The real defaults
+    # are filled in after parsing from _COMMON_DEFAULTS.
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
         "--profile",
         choices=("paper", "quick"),
-        default="paper",
+        default=argparse.SUPPRESS,
         help="CompressionB catalog size (paper=40 configs, quick=10)",
     )
-    common.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    common.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="root RNG seed"
+    )
     common.add_argument(
         "--cache",
-        default="results/paper_cache.json",
-        help="JSON cache of experiment results (created as needed)",
+        default=argparse.SUPPRESS,
+        help="sharded result-cache directory, one JSON shard per product "
+        "group (created as needed; a legacy monolithic .json file is "
+        "migrated automatically; default results/cache)",
+    )
+    common.add_argument(
+        "--legacy-cache",
+        default=argparse.SUPPRESS,
+        help="pre-sharding monolithic cache migrated into --cache on load "
+        "(default results/paper_cache.json; pass '' to disable)",
+    )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="campaign process count (default: all cores but one)",
+    )
+    common.add_argument(
+        "--chunksize",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="experiments per pool task submission",
     )
 
     parser = argparse.ArgumentParser(
@@ -58,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         return sub.add_parser(name, help=help_text, parents=[common])
 
     command("calibrate", "idle-switch service estimate (µ, Var(S))")
+    command("campaign", "run every pending experiment of the evaluation")
 
     impact = command("impact", "probe one application's signature")
     impact.add_argument("app", help="application name (fftw, lulesh, mcb, milc, vpfft, amg)")
@@ -96,6 +135,9 @@ def _pipeline(args: argparse.Namespace) -> ReproductionPipeline:
     return ReproductionPipeline(
         settings=PipelineSettings(profile=args.profile, seed=args.seed),
         cache_path=args.cache,
+        legacy_cache=args.legacy_cache,
+        workers=args.workers,
+        chunksize=args.chunksize,
         verbose=True,
     )
 
@@ -156,9 +198,20 @@ def _fig9(pipeline: ReproductionPipeline) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    for key, value in _COMMON_DEFAULTS.items():
+        if not hasattr(args, key):
+            setattr(args, key, value)
     pipeline = _pipeline(args)
 
-    if args.command == "calibrate":
+    if args.command == "campaign":
+        stats = pipeline.ensure_all()
+        print(
+            f"campaign done: {stats['executed']} executed, "
+            f"{stats['cached']} cached, {stats['total']} total products "
+            f"in {stats['elapsed']:.1f}s with {stats['workers']} worker(s); "
+            f"cache at {pipeline.cache_path}"
+        )
+    elif args.command == "calibrate":
         estimate = pipeline.calibration()
         print(
             f"idle service estimate: mean={estimate.mean * 1e6:.3f}µs "

@@ -73,11 +73,17 @@ class ContentionAnalyzer:
         return cls(pipeline)
 
     @classmethod
-    def paper(cls, cache_path="results/paper_cache.json") -> "ContentionAnalyzer":
+    def paper(
+        cls,
+        cache_path="results/cache",
+        legacy_cache="results/paper_cache.json",
+    ) -> "ContentionAnalyzer":
         """The full 40-config catalog with the paper's six applications."""
         return cls(
             ReproductionPipeline(
-                settings=PipelineSettings(profile="paper"), cache_path=cache_path
+                settings=PipelineSettings(profile="paper"),
+                cache_path=cache_path,
+                legacy_cache=legacy_cache,
             )
         )
 

@@ -1,5 +1,6 @@
 """Experiment layer: calibration, impact, compression, co-run, pipeline."""
 
+from .cache import ShardedCache, group_of
 from .calibration import calibrate
 from .catalog import (
     APP_NAMES,
@@ -19,11 +20,20 @@ from .future import (
     scaled_network,
 )
 from .impact import ImpactExperiment, ImpactResult
-from .pipeline import PipelineSettings, ReproductionPipeline
+from .pipeline import (
+    ExperimentDescriptor,
+    PipelineSettings,
+    ReproductionPipeline,
+    run_experiment,
+)
 from .runner import JobSpec, RunResult, execute
 
 __all__ = [
     "calibrate",
+    "ShardedCache",
+    "group_of",
+    "ExperimentDescriptor",
+    "run_experiment",
     "ImpactExperiment",
     "ImpactResult",
     "CompressionExperiment",

@@ -1,0 +1,142 @@
+"""Crash-safe sharded experiment cache.
+
+Campaign products are grouped by the first segment of their cache key
+(``degradation/fftw/P1M1B2.5e6`` → group ``degradation``); each group lives
+in its own JSON shard ``<directory>/<group>.json``, rewritten atomically
+(tempfile + ``os.replace``) whenever one of its keys changes.  A crashed or
+interrupted campaign therefore keeps every shard that finished a write;
+re-running recomputes only the missing products.
+
+A legacy monolithic cache (the old single ``paper_cache.json``) migrates on
+first load: keys absent from the shards are imported and their shards
+written out immediately.  The legacy file itself is left untouched so the
+migration is safe to interrupt and re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set
+
+__all__ = ["ShardedCache", "group_of"]
+
+_SAFE_GROUP = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def group_of(key: str) -> str:
+    """Shard group of a cache key: its first ``/``-separated segment."""
+    return _SAFE_GROUP.sub("_", key.split("/", 1)[0])
+
+
+class ShardedCache:
+    """A string-keyed store of JSON-serializable values, sharded on disk.
+
+    Args:
+        directory: shard directory (created lazily on first write).  ``None``
+            makes the cache memory-only — lookups and stores work, flushing
+            is a no-op.
+        legacy_path: optional monolithic JSON cache to migrate from on load.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str | Path] = None,
+        legacy_path: Optional[str | Path] = None,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.legacy_path = Path(legacy_path) if legacy_path is not None else None
+        self._data: Dict[str, object] = {}
+        self._dirty: Set[str] = set()
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading & migration
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if self.directory is not None and self.directory.is_dir():
+            for shard in sorted(self.directory.glob("*.json")):
+                self._data.update(json.loads(shard.read_text()))
+        if self.legacy_path is not None and self.legacy_path.is_file():
+            legacy: Dict[str, object] = json.loads(self.legacy_path.read_text())
+            fresh = {key: value for key, value in legacy.items() if key not in self._data}
+            if fresh:
+                self._data.update(fresh)
+                self._dirty.update(group_of(key) for key in fresh)
+                self.flush()
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key: str) -> object:
+        return self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def get(self, key: str, default: object = None) -> object:
+        return self._data.get(key, default)
+
+    def keys(self) -> List[str]:
+        return list(self._data)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A shallow copy of every key/value pair (for equivalence checks)."""
+        return dict(self._data)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def put(self, key: str, value: object, flush: bool = True) -> None:
+        """Store ``value`` and (by default) rewrite its shard atomically."""
+        self._data[key] = value
+        group = group_of(key)
+        self._dirty.add(group)
+        if flush:
+            self.flush(group)
+
+    def flush(self, group: Optional[str] = None) -> None:
+        """Write dirty shards to disk (``group=None`` flushes all of them)."""
+        if self.directory is None:
+            return
+        groups = [group] if group is not None else sorted(self._dirty)
+        for name in groups:
+            if name not in self._dirty:
+                continue
+            self._write_shard(name)
+            self._dirty.discard(name)
+
+    def _write_shard(self, group: str) -> None:
+        assert self.directory is not None
+        payload = {
+            key: value for key, value in self._data.items() if group_of(key) == group
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_name, self.shard_path(group))
+        except BaseException:
+            if os.path.exists(temp_name):  # pragma: no cover - cleanup path
+                os.unlink(temp_name)
+            raise
+
+    def shard_path(self, group: str) -> Path:
+        """Path of one group's shard file."""
+        if self.directory is None:
+            raise ValueError("memory-only cache has no shard paths")
+        return self.directory / f"{group}.json"
+
+    def groups(self) -> Set[str]:
+        """Shard groups currently holding at least one key."""
+        return {group_of(key) for key in self._data}

@@ -1,4 +1,4 @@
-"""The full reproduction pipeline with persistent caching.
+"""The full reproduction pipeline: sharded caching + parallel execution.
 
 Reproducing the paper end to end needs ~330 simulation runs:
 
@@ -9,17 +9,21 @@ Reproducing the paper end to end needs ~330 simulation runs:
 * 240 application × CompressionB degradation runs (Fig. 7),
 * 36 application-pair co-runs (Table I, Figs. 8–9).
 
-Each product is memoized in memory and, when a cache path is given, in a
-JSON file — so the six benchmark suites share one set of simulation runs
-and re-running a report costs nothing.  Every run is deterministic in
-(settings, seed), so cached results are exact.
+Every run is a pure function of ``(settings, machine_config, workload)``, so
+the campaign decomposes into picklable :class:`ExperimentDescriptor` s that
+:meth:`ReproductionPipeline.ensure_all` fans out through
+:func:`repro.parallel.map_experiments` in two dependency stages
+(measurements after calibration, then degradations/co-runs after baselines).
+
+Products are memoized in memory and, when a cache directory is given, in a
+:class:`~repro.core.experiments.cache.ShardedCache` — one atomic JSON shard
+per product group, written as results land, so an interrupted campaign
+resumes from its completed shards.  A legacy monolithic ``paper_cache.json``
+migrates automatically on first load.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,17 +32,24 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ...config import MachineConfig
 from ...core.measurement import ProbeSignature
 from ...errors import ExperimentError
+from ...parallel import default_worker_count, map_experiments
 from ...queueing import ServiceEstimate
 from ...units import MS
 from ...workloads import CompressionConfig, Workload
 from ..models import PredictionEngine, default_models
+from .cache import ShardedCache
 from .calibration import calibrate
 from .catalog import APP_NAMES, paper_applications, paper_compression_catalog, quick_compression_catalog
 from .compression import CompressionExperiment, CompressionObservation
 from .corun import CoRunExperiment
 from .impact import ImpactExperiment, ImpactResult
 
-__all__ = ["PipelineSettings", "ReproductionPipeline"]
+__all__ = [
+    "PipelineSettings",
+    "ReproductionPipeline",
+    "ExperimentDescriptor",
+    "run_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -66,18 +77,142 @@ class PipelineSettings:
             raise ExperimentError(f"unknown profile {self.profile!r}")
 
 
+@dataclass(frozen=True)
+class ExperimentDescriptor:
+    """One self-contained, picklable experiment of the campaign.
+
+    Carries everything a worker process needs to recompute the product from
+    scratch: the campaign settings, the machine description, the workload(s)
+    involved, and any already-computed inputs (calibration estimate,
+    baseline runtime) the experiment depends on.
+
+    Attributes:
+        key: the product's cache key (also determines its shard group).
+        kind: ``calibration`` | ``impact`` | ``comp_sig`` | ``baseline`` |
+            ``degradation`` | ``pair``.
+        settings: campaign knobs (durations, probe interval).
+        machine_config: machine to build (fresh per experiment).
+        workload: probed/measured workload (``None`` for the idle impact).
+        other: co-runner workload (``pair`` only).
+        comp_config: CompressionB configuration (``comp_sig``/``degradation``).
+        calibration: serialized idle-switch :class:`ServiceEstimate`.
+        baseline: isolated runtime of the measured app (stage-two kinds).
+        label: registry name of the measured app (``pair`` bookkeeping).
+    """
+
+    key: str
+    kind: str
+    settings: PipelineSettings
+    machine_config: MachineConfig
+    workload: Optional[Workload] = None
+    other: Optional[Workload] = None
+    comp_config: Optional[CompressionConfig] = None
+    calibration: Optional[dict] = None
+    baseline: Optional[float] = None
+    label: Optional[str] = None
+
+
+def run_experiment(descriptor: ExperimentDescriptor) -> object:
+    """Execute one descriptor and return its JSON-ready product value.
+
+    Pure: builds a fresh machine from the descriptor alone, so results are
+    bit-identical whether this runs in the driver process or a pool worker.
+    """
+    settings = descriptor.settings
+    config = descriptor.machine_config
+    calibration = (
+        ServiceEstimate.from_dict(descriptor.calibration)
+        if descriptor.calibration is not None
+        else None
+    )
+    if descriptor.kind == "calibration":
+        return calibrate(
+            config,
+            duration=settings.calibration_duration,
+            probe_interval=settings.probe_interval,
+        ).to_dict()
+    if descriptor.kind == "impact":
+        experiment = ImpactExperiment(
+            config, calibration, probe_interval=settings.probe_interval
+        )
+        return experiment.measure(
+            descriptor.workload, duration=settings.impact_duration
+        ).to_dict()
+    if descriptor.kind == "comp_sig":
+        experiment = CompressionExperiment(
+            config, calibration, probe_interval=settings.probe_interval
+        )
+        return experiment.signature_of(
+            descriptor.comp_config, duration=settings.signature_duration
+        ).to_dict()
+    if descriptor.kind == "baseline":
+        return CompressionExperiment(config).baseline(descriptor.workload)
+    if descriptor.kind == "degradation":
+        return CompressionExperiment(config).degradation(
+            descriptor.workload, descriptor.comp_config, baseline=descriptor.baseline
+        )
+    if descriptor.kind == "pair":
+        experiment = CoRunExperiment(config)
+        experiment._baselines[descriptor.label] = descriptor.baseline
+        return experiment.slowdown(descriptor.workload, descriptor.other)
+    raise ExperimentError(f"unknown descriptor kind {descriptor.kind!r}")
+
+
+def run_experiment_guarded(
+    descriptor: ExperimentDescriptor,
+) -> Tuple[str, object, Optional[str]]:
+    """Worker entry point: never raises, so one bad experiment cannot take
+    the whole pool down.  Returns ``(key, value, error)`` with exactly one
+    of ``value``/``error`` set."""
+    try:
+        return (descriptor.key, run_experiment(descriptor), None)
+    except Exception as exc:
+        return (descriptor.key, None, f"{type(exc).__name__}: {exc}")
+
+
+class _CampaignProgress:
+    """Completed/total, elapsed, and ETA reporting for one campaign."""
+
+    def __init__(self, total: int, verbose: bool) -> None:
+        self.total = total
+        self.done = 0
+        self.start = time.time()
+        self.verbose = verbose
+
+    def advance(self, key: str) -> None:
+        self.done += 1
+        if not self.verbose:
+            return
+        elapsed = time.time() - self.start
+        remaining = (elapsed / self.done) * (self.total - self.done)
+        print(
+            f"[pipeline] {self.done}/{self.total} {key} · "
+            f"elapsed {elapsed:.1f}s · eta {remaining:.1f}s",
+            flush=True,
+        )
+
+
 class ReproductionPipeline:
     """Runs and caches every experiment the paper's evaluation needs.
 
     Args:
         settings: campaign knobs.
         machine_config: override the Cab-like default machine.
-        cache_path: JSON file for persistent memoization (created on first
-            save; safe to commit — results are deterministic).
+        cache_path: directory of the sharded result cache (created on first
+            save; safe to commit — results are deterministic).  Passing a
+            path to an *existing file* treats it as a legacy monolithic
+            cache: its contents migrate into a sibling directory named
+            after the file's stem.
         applications: override the application registry (tests use small
             fast apps here).
         catalog: override the CompressionB catalog.
-        verbose: print one line per executed (non-cached) experiment.
+        verbose: print per-experiment and campaign-progress lines.
+        legacy_cache: optional legacy monolithic JSON cache migrated into
+            the shard directory on load (ignored when ``cache_path`` itself
+            is a legacy file).
+        workers: default process count for :meth:`ensure_all`
+            (``None`` → all cores but one).
+        chunksize: default descriptors per pool task submission.
     """
 
     def __init__(
@@ -88,6 +223,9 @@ class ReproductionPipeline:
         applications: Optional[Dict[str, Workload]] = None,
         catalog: Optional[Sequence[CompressionConfig]] = None,
         verbose: bool = False,
+        legacy_cache: Optional[str | Path] = None,
+        workers: Optional[int] = None,
+        chunksize: int = 1,
     ) -> None:
         from ...cluster import cab_config
 
@@ -101,11 +239,26 @@ class ReproductionPipeline:
                 else quick_compression_catalog()
             )
         self.catalog: List[CompressionConfig] = list(catalog)
-        self.cache_path = Path(cache_path) if cache_path else None
         self.verbose = verbose
-        self._cache: Dict[str, object] = {}
-        if self.cache_path and self.cache_path.exists():
-            self._cache = json.loads(self.cache_path.read_text())
+        self.workers = workers
+        self.chunksize = chunksize
+        directory, legacy = self._resolve_cache_paths(cache_path, legacy_cache)
+        self.cache_path = directory
+        self.legacy_cache = legacy
+        self._cache = ShardedCache(directory, legacy)
+
+    @staticmethod
+    def _resolve_cache_paths(
+        cache_path: Optional[str | Path], legacy_cache: Optional[str | Path]
+    ) -> Tuple[Optional[Path], Optional[Path]]:
+        directory = Path(cache_path) if cache_path else None
+        legacy = Path(legacy_cache) if legacy_cache else None
+        if directory is not None and directory.is_file():
+            # A pre-sharding monolithic cache was passed directly: migrate
+            # it into a sibling directory named after the file's stem.
+            legacy = directory
+            directory = directory.parent / directory.stem
+        return directory, legacy
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -117,20 +270,8 @@ class ReproductionPipeline:
         value = compute()
         if self.verbose:
             print(f"[pipeline] {key}: {time.time() - start:.1f}s", flush=True)
-        self._cache[key] = value
-        self._save()
+        self._cache.put(key, value)
         return value
-
-    def _save(self) -> None:
-        if self.cache_path is None:
-            return
-        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(
-            dir=self.cache_path.parent, suffix=".tmp"
-        )
-        with os.fdopen(handle, "w") as stream:
-            json.dump(self._cache, stream)
-        os.replace(temp_name, self.cache_path)
 
     @property
     def app_names(self) -> List[str]:
@@ -145,55 +286,124 @@ class ReproductionPipeline:
         except KeyError as exc:
             raise ExperimentError(f"unknown application {name!r}") from exc
 
+    def product_keys(self) -> List[str]:
+        """Every cache key of the full evaluation, in campaign order."""
+        keys = ["calibration", "impact/idle"]
+        for name in self.app_names:
+            keys.append(f"impact/{name}")
+            keys.append(f"baseline/{name}")
+        keys.extend(f"comp_sig/{config.label}" for config in self.catalog)
+        for name in self.app_names:
+            keys.extend(
+                f"degradation/{name}/{config.label}" for config in self.catalog
+            )
+        for measured in self.app_names:
+            keys.extend(f"pair/{measured}/{other}" for other in self.app_names)
+        return keys
+
+    def pending_keys(self) -> List[str]:
+        """Products not yet present in the cache (what a resume would run)."""
+        return [key for key in self.product_keys() if key not in self._cache]
+
+    # ------------------------------------------------------------------
+    # Descriptor builders
+    # ------------------------------------------------------------------
+    def _calibration_descriptor(self) -> ExperimentDescriptor:
+        return ExperimentDescriptor(
+            key="calibration",
+            kind="calibration",
+            settings=self.settings,
+            machine_config=self.machine_config,
+        )
+
+    def _calibration_data(self) -> dict:
+        self.calibration()
+        return self._cache["calibration"]  # type: ignore[return-value]
+
+    def _impact_descriptor(self, name: Optional[str]) -> ExperimentDescriptor:
+        return ExperimentDescriptor(
+            key=f"impact/{name}" if name else "impact/idle",
+            kind="impact",
+            settings=self.settings,
+            machine_config=self.machine_config,
+            workload=self._app(name) if name else None,
+            calibration=self._calibration_data(),
+        )
+
+    def _comp_sig_descriptor(self, config: CompressionConfig) -> ExperimentDescriptor:
+        return ExperimentDescriptor(
+            key=f"comp_sig/{config.label}",
+            kind="comp_sig",
+            settings=self.settings,
+            machine_config=self.machine_config,
+            comp_config=config,
+            calibration=self._calibration_data(),
+        )
+
+    def _baseline_descriptor(self, name: str) -> ExperimentDescriptor:
+        return ExperimentDescriptor(
+            key=f"baseline/{name}",
+            kind="baseline",
+            settings=self.settings,
+            machine_config=self.machine_config,
+            workload=self._app(name),
+        )
+
+    def _degradation_descriptor(
+        self, name: str, config: CompressionConfig
+    ) -> ExperimentDescriptor:
+        return ExperimentDescriptor(
+            key=f"degradation/{name}/{config.label}",
+            kind="degradation",
+            settings=self.settings,
+            machine_config=self.machine_config,
+            workload=self._app(name),
+            comp_config=config,
+            baseline=self.app_baseline(name),
+        )
+
+    def _pair_descriptor(self, measured: str, other: str) -> ExperimentDescriptor:
+        return ExperimentDescriptor(
+            key=f"pair/{measured}/{other}",
+            kind="pair",
+            settings=self.settings,
+            machine_config=self.machine_config,
+            workload=self._app(measured),
+            other=self._app(other),
+            baseline=self.app_baseline(measured),
+            label=measured,
+        )
+
     # ------------------------------------------------------------------
     # Primitive products
     # ------------------------------------------------------------------
     def calibration(self) -> ServiceEstimate:
         """Idle-switch service estimate (µ, Var(S))."""
-        data = self._memo(
-            "calibration",
-            lambda: calibrate(
-                self.machine_config,
-                duration=self.settings.calibration_duration,
-                probe_interval=self.settings.probe_interval,
-            ).to_dict(),
-        )
+        descriptor = self._calibration_descriptor()
+        data = self._memo(descriptor.key, lambda: run_experiment(descriptor))
         return ServiceEstimate.from_dict(data)  # type: ignore[arg-type]
 
     def idle_signature(self) -> ProbeSignature:
         """The idle switch's probe signature (Fig. 3's 'No App' series)."""
-        data = self._memo("impact/idle", lambda: self._impact(None).to_dict())
-        return ImpactResult.from_dict(data).signature  # type: ignore[arg-type]
-
-    def _impact(self, workload: Optional[Workload]) -> ImpactResult:
-        experiment = ImpactExperiment(
-            self.machine_config,
-            self.calibration(),
-            probe_interval=self.settings.probe_interval,
+        data = self._memo(
+            "impact/idle", lambda: run_experiment(self._impact_descriptor(None))
         )
-        return experiment.measure(workload, duration=self.settings.impact_duration)
+        return ImpactResult.from_dict(data).signature  # type: ignore[arg-type]
 
     def app_impact(self, name: str) -> ImpactResult:
         """Impact experiment on one application (probe signature + ρ)."""
+        self._app(name)  # validate before touching the cache
         data = self._memo(
-            f"impact/{name}", lambda: self._impact(self._app(name)).to_dict()
+            f"impact/{name}", lambda: run_experiment(self._impact_descriptor(name))
         )
         return ImpactResult.from_dict(data)  # type: ignore[arg-type]
 
     def compression_signature(self, config: CompressionConfig) -> CompressionObservation:
         """Signature of one CompressionB config (Fig. 6 point)."""
-
-        def compute() -> dict:
-            experiment = CompressionExperiment(
-                self.machine_config,
-                self.calibration(),
-                probe_interval=self.settings.probe_interval,
-            )
-            return experiment.signature_of(
-                config, duration=self.settings.signature_duration
-            ).to_dict()
-
-        data = self._memo(f"comp_sig/{config.label}", compute)
+        data = self._memo(
+            f"comp_sig/{config.label}",
+            lambda: run_experiment(self._comp_sig_descriptor(config)),
+        )
         return CompressionObservation.from_dict(data)  # type: ignore[arg-type]
 
     def compression_signatures(self) -> List[CompressionObservation]:
@@ -202,22 +412,16 @@ class ReproductionPipeline:
 
     def app_baseline(self, name: str) -> float:
         """Isolated runtime of one application."""
-        def compute() -> float:
-            experiment = CompressionExperiment(self.machine_config)
-            return experiment.baseline(self._app(name))
-
-        return float(self._memo(f"baseline/{name}", compute))  # type: ignore[arg-type]
+        descriptor = self._baseline_descriptor(name)
+        return float(self._memo(descriptor.key, lambda: run_experiment(descriptor)))  # type: ignore[arg-type]
 
     def app_degradation(self, name: str, config: CompressionConfig) -> float:
         """% degradation of one app under one CompressionB config (Fig. 7 point)."""
-
-        def compute() -> float:
-            experiment = CompressionExperiment(self.machine_config)
-            return experiment.degradation(
-                self._app(name), config, baseline=self.app_baseline(name)
-            )
-
-        return float(self._memo(f"degradation/{name}/{config.label}", compute))  # type: ignore[arg-type]
+        key = f"degradation/{name}/{config.label}"
+        if key in self._cache:
+            return float(self._cache[key])  # type: ignore[arg-type]
+        descriptor = self._degradation_descriptor(name, config)
+        return float(self._memo(key, lambda: run_experiment(descriptor)))  # type: ignore[arg-type]
 
     def degradation_table(self) -> Dict[str, Dict[str, float]]:
         """Per-app, per-config % degradations for the whole catalog."""
@@ -231,13 +435,11 @@ class ReproductionPipeline:
 
     def pair_slowdown(self, measured: str, other: str) -> float:
         """Measured % slowdown of ``measured`` co-running with ``other``."""
-
-        def compute() -> float:
-            experiment = CoRunExperiment(self.machine_config)
-            experiment._baselines[measured] = self.app_baseline(measured)
-            return experiment.slowdown(self._app(measured), self._app(other))
-
-        return float(self._memo(f"pair/{measured}/{other}", compute))  # type: ignore[arg-type]
+        key = f"pair/{measured}/{other}"
+        if key in self._cache:
+            return float(self._cache[key])  # type: ignore[arg-type]
+        descriptor = self._pair_descriptor(measured, other)
+        return float(self._memo(key, lambda: run_experiment(descriptor)))  # type: ignore[arg-type]
 
     def measured_pairs(self) -> Dict[Tuple[str, str], float]:
         """All ordered pairs' measured slowdowns (Table I)."""
@@ -276,13 +478,142 @@ class ReproductionPipeline:
         return errors
 
     # ------------------------------------------------------------------
-    def ensure_all(self) -> None:
-        """Run (or load) every product of the full evaluation."""
-        self.calibration()
-        self.idle_signature()
-        for name in self.app_names:
-            self.app_impact(name)
-            self.app_baseline(name)
-        self.compression_signatures()
-        self.degradation_table()
-        self.measured_pairs()
+    # Campaign execution
+    # ------------------------------------------------------------------
+    def ensure_all(
+        self, workers: Optional[int] = None, chunksize: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Run (or load) every product of the full evaluation.
+
+        Pending products fan out through a process pool in two dependency
+        stages: measurements (impacts, signatures, baselines) after the
+        calibration, then degradations and co-runs after the baselines.
+        Results land in cache-key order within each stage, each flushing its
+        shard atomically, so interrupting the campaign never loses completed
+        work.  A failing experiment is retried once; persistent failures
+        raise with the offending descriptor in the message.
+
+        Args:
+            workers: process count (``None`` → the pipeline's default).
+            chunksize: descriptors per pool submission (``None`` → default).
+
+        Returns:
+            Campaign stats: total/executed product counts, elapsed seconds,
+            and the worker count used.
+        """
+        count = workers if workers is not None else self.workers
+        if count is None:
+            count = default_worker_count()
+        chunk = chunksize if chunksize is not None else self.chunksize
+
+        start = time.time()
+        pending = set(self.pending_keys())
+        progress = _CampaignProgress(len(pending), self.verbose)
+
+        if "calibration" in pending:
+            self.calibration()
+            progress.advance("calibration")
+
+        stage_one = [
+            self._impact_descriptor(name)
+            for name in [None, *self.app_names]
+            if (f"impact/{name}" if name else "impact/idle") in pending
+        ]
+        stage_one.extend(
+            self._comp_sig_descriptor(config)
+            for config in self.catalog
+            if f"comp_sig/{config.label}" in pending
+        )
+        stage_one.extend(
+            self._baseline_descriptor(name)
+            for name in self.app_names
+            if f"baseline/{name}" in pending
+        )
+        self._run_stage(stage_one, count, chunk, progress)
+
+        stage_two = [
+            self._degradation_descriptor(name, config)
+            for name in self.app_names
+            for config in self.catalog
+            if f"degradation/{name}/{config.label}" in pending
+        ]
+        stage_two.extend(
+            self._pair_descriptor(measured, other)
+            for measured in self.app_names
+            for other in self.app_names
+            if f"pair/{measured}/{other}" in pending
+        )
+        self._run_stage(stage_two, count, chunk, progress)
+
+        elapsed = time.time() - start
+        if self.verbose and pending:
+            print(
+                f"[pipeline] campaign complete: {len(pending)} experiment(s) "
+                f"in {elapsed:.1f}s with {count} worker(s)",
+                flush=True,
+            )
+        return {
+            "total": len(self.product_keys()),
+            "executed": len(pending),
+            "cached": len(self.product_keys()) - len(pending),
+            "elapsed": elapsed,
+            "workers": count,
+        }
+
+    def _run_stage(
+        self,
+        descriptors: List[ExperimentDescriptor],
+        workers: int,
+        chunksize: int,
+        progress: _CampaignProgress,
+    ) -> None:
+        if not descriptors:
+            return
+        failures = self._dispatch(descriptors, workers, chunksize, progress)
+        if failures:
+            if self.verbose:
+                print(
+                    f"[pipeline] retrying {len(failures)} failed experiment(s)",
+                    flush=True,
+                )
+            failures = self._dispatch(
+                [descriptor for descriptor, _error in failures],
+                workers,
+                chunksize,
+                progress,
+            )
+        if failures:
+            details = "; ".join(
+                f"{descriptor.key}: {error} (descriptor={descriptor!r})"
+                for descriptor, error in failures
+            )
+            raise ExperimentError(
+                f"{len(failures)} experiment(s) failed after one retry: {details}"
+            )
+
+    def _dispatch(
+        self,
+        descriptors: List[ExperimentDescriptor],
+        workers: int,
+        chunksize: int,
+        progress: _CampaignProgress,
+    ) -> List[Tuple[ExperimentDescriptor, str]]:
+        by_key = {descriptor.key: descriptor for descriptor in descriptors}
+        failures: List[Tuple[ExperimentDescriptor, str]] = []
+
+        def land(result: Tuple[str, object, Optional[str]]) -> None:
+            key, value, error = result
+            if error is not None:
+                failures.append((by_key[key], error))
+                return
+            self._cache.put(key, value)
+            progress.advance(key)
+
+        map_experiments(
+            run_experiment_guarded,
+            descriptors,
+            workers=workers,
+            chunksize=chunksize,
+            on_result=land,
+        )
+        return failures

@@ -9,6 +9,7 @@ returns the timing/utilization snapshot.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
@@ -47,12 +48,18 @@ class JobSpec:
 
 @dataclass
 class RunResult:
-    """Outcome of one experiment run."""
+    """Outcome of one experiment run.
+
+    ``wall_seconds`` is host wall-clock spent executing the run — purely
+    diagnostic (campaign progress/ETA calibration), never part of a cached
+    product.
+    """
 
     elapsed: Dict[str, float] = field(default_factory=dict)
     sim_time: float = 0.0
     true_utilization: float = 0.0
     events: int = 0
+    wall_seconds: float = 0.0
 
     def elapsed_of(self, name: str) -> float:
         if name not in self.elapsed:
@@ -91,6 +98,7 @@ def execute(
     if not measured and duration is None:
         raise ExperimentError("daemon-only runs need an explicit duration")
 
+    wall_start = time.perf_counter()
     machine = Machine(config)
     jobs = []
     for spec in specs:
@@ -118,4 +126,5 @@ def execute(
     result.sim_time = machine.sim.now
     result.true_utilization = machine.network.true_utilization()
     result.events = machine.sim.events_executed
+    result.wall_seconds = time.perf_counter() - wall_start
     return result

@@ -34,6 +34,7 @@ def map_experiments(
     items: Sequence[ItemT],
     workers: Optional[int] = None,
     chunksize: int = 1,
+    on_result: Optional[Callable[[ResultT], None]] = None,
 ) -> List[ResultT]:
     """Apply ``function`` to every item, possibly in parallel.
 
@@ -44,6 +45,9 @@ def map_experiments(
             ``1`` (or a single-core host) → serial in-process execution.
         chunksize: items per task submission (larger amortizes IPC for many
             small experiments).
+        on_result: optional callback invoked in the driver process with each
+            result *as it lands*, in item order — the hook the pipeline uses
+            for incremental shard flushing and progress reporting.
 
     Returns:
         Results in item order.
@@ -53,7 +57,17 @@ def map_experiments(
     if chunksize < 1:
         raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
     count = workers if workers is not None else default_worker_count()
+    results: List[ResultT] = []
     if count == 1 or len(items) <= 1:
-        return [function(item) for item in items]
+        for item in items:
+            value = function(item)
+            if on_result is not None:
+                on_result(value)
+            results.append(value)
+        return results
     with ProcessPoolExecutor(max_workers=count) as pool:
-        return list(pool.map(function, items, chunksize=chunksize))
+        for value in pool.map(function, items, chunksize=chunksize):
+            if on_result is not None:
+                on_result(value)
+            results.append(value)
+    return results

@@ -31,7 +31,7 @@ def _pipeline(tmp_path=None, seed=0):
             CompressionConfig(2, 1, 2.5e5),
             CompressionConfig(3, 10, 2.5e4),
         ],
-        cache_path=(tmp_path / "cache.json") if tmp_path else None,
+        cache_path=(tmp_path / "cache") if tmp_path else None,
     )
 
 
@@ -64,13 +64,54 @@ def test_cache_persists_to_disk(tmp_path):
     baseline = pipeline.app_baseline("mcb")
     calibration = pipeline.calibration()
 
-    data = json.loads((tmp_path / "cache.json").read_text())
+    # Each product group lands in its own shard file.
+    data = json.loads((tmp_path / "cache" / "baseline.json").read_text())
     assert data["baseline/mcb"] == baseline
+    assert (tmp_path / "cache" / "calibration.json").exists()
 
     # A fresh pipeline reloads without re-simulating.
     reloaded = _pipeline(tmp_path)
     assert reloaded.app_baseline("mcb") == baseline
     assert reloaded.calibration().mean == calibration.mean
+
+
+def test_legacy_monolithic_cache_migrates(tmp_path):
+    pipeline = _pipeline(tmp_path)
+    baseline = pipeline.app_baseline("mcb")
+
+    # Re-pack the shards into a pre-sharding monolithic cache file.
+    legacy = tmp_path / "paper_cache.json"
+    legacy.write_text(json.dumps(pipeline._cache.snapshot()))
+
+    migrated = ReproductionPipeline(
+        settings=pipeline.settings,
+        machine_config=pipeline.machine_config,
+        applications=pipeline.applications,
+        catalog=pipeline.catalog,
+        cache_path=tmp_path / "fresh",
+        legacy_cache=legacy,
+    )
+    assert migrated.app_baseline("mcb") == baseline
+    assert (tmp_path / "fresh" / "baseline.json").exists()
+    assert legacy.exists()  # migration never destroys the legacy file
+
+
+def test_cache_path_pointing_at_legacy_file_migrates_beside_it(tmp_path):
+    pipeline = _pipeline(tmp_path)
+    baseline = pipeline.app_baseline("mcb")
+    legacy = tmp_path / "old_cache.json"
+    legacy.write_text(json.dumps(pipeline._cache.snapshot()))
+
+    upgraded = ReproductionPipeline(
+        settings=pipeline.settings,
+        machine_config=pipeline.machine_config,
+        applications=pipeline.applications,
+        catalog=pipeline.catalog,
+        cache_path=legacy,  # old-style invocation
+    )
+    assert upgraded.cache_path == tmp_path / "old_cache"
+    assert upgraded.app_baseline("mcb") == baseline
+    assert (tmp_path / "old_cache" / "baseline.json").exists()
 
 
 def test_degradation_table_covers_catalog():

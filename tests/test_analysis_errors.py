@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.analysis.errors` (the Fig. 8/9 statistics):
+pairing completeness, hand-computed quartiles, and threshold boundaries."""
+
+import pytest
+
+from repro.analysis import ErrorSummary, absolute_errors, fraction_within, summarize_errors
+from repro.errors import ExperimentError
+
+
+class TestAbsoluteErrors:
+    def test_absolute_differences(self):
+        measured = {("a", "b"): 10.0, ("b", "a"): 4.0}
+        predicted = {("a", "b"): 7.5, ("b", "a"): 9.0}
+        assert absolute_errors(measured, predicted) == {
+            ("a", "b"): 2.5,
+            ("b", "a"): 5.0,
+        }
+
+    def test_missing_pairing_raises(self):
+        measured = {("a", "b"): 10.0, ("b", "a"): 4.0}
+        predicted = {("a", "b"): 7.5}
+        with pytest.raises(ExperimentError, match="missing"):
+            absolute_errors(measured, predicted)
+
+    def test_extra_predictions_are_ignored(self):
+        measured = {("a", "b"): 1.0}
+        predicted = {("a", "b"): 0.0, ("z", "z"): 99.0}
+        assert absolute_errors(measured, predicted) == {("a", "b"): 1.0}
+
+    def test_empty_measurements_give_empty_errors(self):
+        assert absolute_errors({}, {("a", "b"): 1.0}) == {}
+
+
+class TestSummarizeErrors:
+    def test_exact_quartiles_on_five_points(self):
+        # Quartile positions land exactly on samples: no interpolation.
+        summary = summarize_errors([0.0, 10.0, 20.0, 30.0, 40.0])
+        assert summary == ErrorSummary(
+            minimum=0.0, q1=10.0, median=20.0, q3=30.0, maximum=40.0,
+            mean=20.0, count=5,
+        )
+        assert summary.iqr == 20.0
+
+    def test_interpolated_quartiles_on_four_points(self):
+        # numpy's linear interpolation, hand-computed for [1, 2, 3, 4]:
+        # q1 at index 0.75 → 1.75; median at 1.5 → 2.5; q3 at 2.25 → 3.25.
+        summary = summarize_errors([4.0, 1.0, 3.0, 2.0])  # order must not matter
+        assert summary.q1 == pytest.approx(1.75)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.q3 == pytest.approx(3.25)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.count == 4
+
+    def test_even_count_median_is_midpoint(self):
+        # The bug the pipeline script had: values[n//2] picks the *upper*
+        # of the two middle samples; the true median is their midpoint.
+        values = [1.0, 2.0, 10.0, 20.0]
+        summary = summarize_errors(values)
+        assert summary.median == pytest.approx(6.0)
+        assert summary.median != sorted(values)[len(values) // 2]
+
+    def test_single_value_collapses_all_statistics(self):
+        summary = summarize_errors([3.5])
+        assert (
+            summary.minimum == summary.q1 == summary.median
+            == summary.q3 == summary.maximum == summary.mean == 3.5
+        )
+        assert summary.count == 1
+        assert summary.iqr == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            summarize_errors([])
+
+    def test_negative_errors_rejected(self):
+        with pytest.raises(ExperimentError, match="negative"):
+            summarize_errors([1.0, -0.5])
+
+
+class TestFractionWithin:
+    def test_threshold_boundary_is_inclusive(self):
+        # The paper quotes "error lower than 10%"; the implementation counts
+        # errors *at or below* the threshold.
+        errors = [1.0, 2.0, 3.0]
+        assert fraction_within(errors, 2.0) == pytest.approx(2.0 / 3.0)
+        assert fraction_within(errors, 1.9999) == pytest.approx(1.0 / 3.0)
+
+    def test_all_and_none(self):
+        errors = [1.0, 2.0, 3.0]
+        assert fraction_within(errors, 3.0) == 1.0
+        assert fraction_within(errors, 0.5) == 0.0
+
+    def test_zero_threshold_counts_exact_zeros(self):
+        assert fraction_within([0.0, 0.0, 1.0], 0.0) == pytest.approx(2.0 / 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            fraction_within([], 1.0)

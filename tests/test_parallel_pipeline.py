@@ -1,0 +1,209 @@
+"""Serial/parallel campaign equivalence and crash-safe resume tests.
+
+The campaign must produce bit-identical products no matter how it is
+executed (in-process, through a process pool, cold, or resumed from a
+partially written sharded cache) — that is what makes the cache safe to
+share between the CLI, the scripts, and the benchmark suite.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.errors import ExperimentError
+from repro.parallel import map_experiments
+from repro.units import MS
+from repro.workloads import FFTW, MCB, CompressionConfig, Workload
+
+
+def _pipeline(cache_path=None, seed=0, applications=None, verbose=False):
+    return ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick",
+            seed=seed,
+            impact_duration=0.01,
+            signature_duration=0.01,
+            calibration_duration=0.02,
+            probe_interval=0.1 * MS,
+        ),
+        machine_config=small_test_config(seed=seed),
+        applications=applications
+        if applications is not None
+        else {
+            "fftw": FFTW(iterations=1, pack_compute=5e-5),
+            "mcb": MCB(iterations=2, track_compute=2e-4),
+        },
+        catalog=[
+            CompressionConfig(1, 1, 2.5e6),
+            CompressionConfig(2, 1, 2.5e5),
+        ],
+        cache_path=cache_path,
+        verbose=verbose,
+    )
+
+
+def _signature(pipeline):
+    """Canonical byte-level fingerprint of every cached product."""
+    return json.dumps(pipeline._cache.snapshot(), sort_keys=True)
+
+
+def _burn(x: float) -> float:
+    """A picklable stand-in experiment with nontrivial float arithmetic."""
+    total = 0.0
+    for i in range(1, 200):
+        total += (x * i) ** 0.5 / i
+    return total
+
+
+class _Boom(Workload):
+    """A workload that always fails to launch (worker-failure injection)."""
+
+    name = "boom"
+
+    def build(self, ctx):
+        raise RuntimeError("boom: this workload never runs")
+
+
+# ----------------------------------------------------------------------
+# map_experiments equivalence
+# ----------------------------------------------------------------------
+def test_map_experiments_pool_matches_serial_bitwise():
+    items = [0.1 * i for i in range(12)]
+    serial = map_experiments(_burn, items, workers=1)
+    pooled = map_experiments(_burn, items, workers=2, chunksize=3)
+    assert serial == pooled  # float equality: bit-identical results
+
+
+def test_map_experiments_on_result_streams_in_order():
+    landed = []
+    results = map_experiments(_burn, [1.0, 2.0, 3.0], workers=2, on_result=landed.append)
+    assert landed == results == [_burn(x) for x in [1.0, 2.0, 3.0]]
+    landed.clear()
+    map_experiments(_burn, [1.0, 2.0], workers=1, on_result=landed.append)
+    assert landed == [_burn(1.0), _burn(2.0)]
+
+
+# ----------------------------------------------------------------------
+# Campaign equivalence
+# ----------------------------------------------------------------------
+def test_campaign_parallel_matches_serial(tmp_path):
+    serial = _pipeline(tmp_path / "serial")
+    stats = serial.ensure_all(workers=1)
+    assert stats["executed"] == stats["total"] == len(serial.product_keys())
+
+    pooled = _pipeline(tmp_path / "pooled")
+    pooled.ensure_all(workers=2)
+    assert _signature(serial) == _signature(pooled)
+
+
+def test_campaign_results_identical_with_and_without_cache_warmup(tmp_path):
+    cold = _pipeline()  # memory-only
+    cold.ensure_all(workers=1)
+    cold_errors = cold.prediction_errors()
+
+    warm = _pipeline(tmp_path / "cache")
+    warm.ensure_all(workers=1)
+    resumed = _pipeline(tmp_path / "cache")  # fresh instance, warm shards
+    assert resumed.pending_keys() == []
+    assert resumed.prediction_errors() == cold_errors
+    assert _signature(resumed) == _signature(cold)
+
+
+def test_second_ensure_all_is_all_cache_hits(tmp_path):
+    pipeline = _pipeline(tmp_path / "cache")
+    first = pipeline.ensure_all(workers=1)
+    second = _pipeline(tmp_path / "cache").ensure_all(workers=1)
+    assert first["executed"] > 0
+    assert second["executed"] == 0
+    assert second["cached"] == second["total"]
+
+
+# ----------------------------------------------------------------------
+# Crash-safe sharding & resume
+# ----------------------------------------------------------------------
+def test_shards_land_per_product_group(tmp_path):
+    pipeline = _pipeline(tmp_path / "cache")
+    pipeline.ensure_all(workers=1)
+    shards = {path.name for path in (tmp_path / "cache").glob("*.json")}
+    assert shards == {
+        "calibration.json",
+        "impact.json",
+        "comp_sig.json",
+        "baseline.json",
+        "degradation.json",
+        "pair.json",
+    }
+
+
+def test_resume_after_lost_shards_recomputes_only_those(tmp_path):
+    pipeline = _pipeline(tmp_path / "cache")
+    pipeline.ensure_all(workers=1)
+    reference = _signature(pipeline)
+
+    (tmp_path / "cache" / "degradation.json").unlink()
+    (tmp_path / "cache" / "pair.json").unlink()
+
+    resumed = _pipeline(tmp_path / "cache")
+    pending = resumed.pending_keys()
+    assert pending and all(
+        key.startswith(("degradation/", "pair/")) for key in pending
+    )
+    resumed.ensure_all(workers=1)
+    assert _signature(resumed) == reference
+
+
+def test_resume_from_partial_stage_one_write(tmp_path):
+    # Simulate a campaign killed mid-run: only the shards that completed
+    # their atomic write survive.  The re-run must skip them entirely and
+    # still converge to the same products.
+    done = _pipeline(tmp_path / "full")
+    done.ensure_all(workers=1)
+    reference = _signature(done)
+
+    partial = tmp_path / "partial"
+    partial.mkdir()
+    for survivor in ("calibration.json", "impact.json", "baseline.json"):
+        shutil.copy(tmp_path / "full" / survivor, partial / survivor)
+    (partial / "junk.tmp").write_text("interrupted mid-write")  # ignored
+
+    resumed = _pipeline(partial)
+    pending = set(resumed.pending_keys())
+    assert not any(key.startswith(("impact/", "baseline/")) for key in pending)
+    assert "calibration" not in pending
+    resumed.ensure_all(workers=2)
+    assert _signature(resumed) == reference
+
+
+def test_parallel_resume_matches_serial_resume(tmp_path):
+    full = _pipeline(tmp_path / "full")
+    full.ensure_all(workers=1)
+    for flavor in ("serial", "pooled"):
+        target = tmp_path / flavor
+        target.mkdir()
+        shutil.copy(tmp_path / "full" / "calibration.json", target / "calibration.json")
+        shutil.copy(tmp_path / "full" / "baseline.json", target / "baseline.json")
+    serial = _pipeline(tmp_path / "serial")
+    serial.ensure_all(workers=1)
+    pooled = _pipeline(tmp_path / "pooled")
+    pooled.ensure_all(workers=2)
+    assert _signature(serial) == _signature(pooled) == _signature(full)
+
+
+# ----------------------------------------------------------------------
+# Failure handling
+# ----------------------------------------------------------------------
+def test_failing_experiment_surfaces_descriptor_after_retry(tmp_path):
+    pipeline = _pipeline(
+        tmp_path / "cache",
+        applications={"boom": _Boom()},
+    )
+    with pytest.raises(ExperimentError, match="after one retry") as excinfo:
+        pipeline.ensure_all(workers=1)
+    message = str(excinfo.value)
+    assert "boom" in message
+    assert "descriptor=" in message
+    # Products computed before the failure stayed cached for the next resume.
+    assert "calibration" in pipeline._cache

@@ -1,0 +1,111 @@
+"""Physics-core tests: the M/G/1 Pollaczek–Khinchine formula and its
+inversion (the paper's Eq. 1–3), exercised as round trips, edge cases, and
+the exponential-service M/M/1 cross-check."""
+
+import math
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.queueing import (
+    MG1,
+    MM1,
+    arrival_rate_from_sojourn,
+    pk_sojourn_time,
+    pk_waiting_time,
+    sojourn_from_utilization,
+    utilization_from_sojourn,
+)
+
+MU = 2.0e6  # a switch-like service rate, packets/s
+VAR = 0.5 / MU**2  # service variance below exponential (SCV = 0.5)
+
+
+class TestRoundTrip:
+    """λ → W (P–K forward) → λ̂ (paper Eq. 3) must be the identity."""
+
+    @pytest.mark.parametrize("rho", [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99])
+    @pytest.mark.parametrize("scv", [0.0, 0.5, 1.0, 4.0])
+    def test_utilization_round_trip(self, rho, scv):
+        variance = scv / MU**2
+        sojourn = sojourn_from_utilization(rho, MU, variance)
+        recovered = utilization_from_sojourn(sojourn, MU, variance)
+        assert recovered == pytest.approx(rho, rel=1e-12)
+
+    @pytest.mark.parametrize("rho", [0.05, 0.5, 0.95])
+    def test_arrival_rate_round_trip(self, rho):
+        lam = rho * MU
+        queue = MG1(arrival_rate=lam, service_rate=MU, service_variance=VAR)
+        recovered = arrival_rate_from_sojourn(queue.sojourn_time, MU, VAR)
+        assert recovered == pytest.approx(lam, rel=1e-12)
+
+    def test_paper_algebra_matches_standard_form(self):
+        queue = MG1(arrival_rate=0.6 * MU, service_rate=MU, service_variance=VAR)
+        assert queue.paper_sojourn_form() == pytest.approx(
+            queue.sojourn_time, rel=1e-12
+        )
+
+
+class TestEdgeCases:
+    def test_zero_load_sojourn_is_pure_service(self):
+        # ρ = 0: no queueing, W = E[S] exactly.
+        assert sojourn_from_utilization(0.0, MU, VAR) == 1.0 / MU
+        assert pk_waiting_time(0.0, MU, VAR) == 0.0
+
+    def test_zero_load_inverts_to_zero(self):
+        assert utilization_from_sojourn(1.0 / MU, MU, VAR) == 0.0
+
+    def test_sub_idle_observation_clamps_to_zero(self):
+        # Sampling noise can put W slightly below the idle service time.
+        noisy = 0.999 / MU
+        assert utilization_from_sojourn(noisy, MU, VAR) == 0.0
+        with pytest.raises(EstimationError):
+            utilization_from_sojourn(noisy, MU, VAR, clamp=False)
+
+    def test_sojourn_diverges_as_rho_approaches_one(self):
+        sojourns = [
+            sojourn_from_utilization(rho, MU, VAR)
+            for rho in (0.9, 0.99, 0.999, 0.9999)
+        ]
+        assert sojourns == sorted(sojourns)
+        # W ~ 1/(1−ρ): each decade toward saturation grows W ~10×.
+        assert sojourns[-1] > 100 * sojourns[0] / 10
+        assert math.isfinite(sojourns[-1])
+
+    def test_saturated_queue_rejected(self):
+        with pytest.raises(EstimationError, match="unstable"):
+            MG1(arrival_rate=MU, service_rate=MU, service_variance=VAR)
+        with pytest.raises(EstimationError, match="unstable"):
+            pk_sojourn_time(1.5 * MU, MU, VAR)
+        with pytest.raises(EstimationError):
+            sojourn_from_utilization(1.0, MU, VAR)
+
+    def test_huge_observed_latency_stays_below_saturation(self):
+        # Even an absurd observation maps into [0, 1): the inversion is a
+        # bijection onto the stable region.
+        rho = utilization_from_sojourn(1e6 / MU, MU, VAR)
+        assert 0.999 < rho < 1.0
+
+
+class TestMM1Agreement:
+    """With exponential service (Var(S) = 1/µ²), M/G/1 must reduce to M/M/1."""
+
+    @pytest.mark.parametrize("rho", [0.1, 0.5, 0.9])
+    def test_sojourn_and_waiting_agree(self, rho):
+        lam = rho * MU
+        exp_var = 1.0 / MU**2
+        mg1 = MG1(arrival_rate=lam, service_rate=MU, service_variance=exp_var)
+        mm1 = MM1(arrival_rate=lam, service_rate=MU)
+        assert mg1.sojourn_time == pytest.approx(mm1.sojourn_time, rel=1e-12)
+        assert mg1.waiting_time == pytest.approx(mm1.waiting_time, rel=1e-12)
+        assert mg1.mean_in_system == pytest.approx(mm1.mean_in_system, rel=1e-12)
+        assert mg1.mean_queue_length == pytest.approx(
+            mm1.mean_queue_length, rel=1e-12
+        )
+
+    def test_deterministic_service_halves_the_wait(self):
+        # P–K: Wq(det) = Wq(exp)/2 at equal ρ — the classic variance effect.
+        lam = 0.5 * MU
+        exp_wait = pk_waiting_time(lam, MU, 1.0 / MU**2)
+        det_wait = pk_waiting_time(lam, MU, 0.0)
+        assert det_wait == pytest.approx(exp_wait / 2.0, rel=1e-12)

@@ -1,0 +1,93 @@
+"""Sim-kernel determinism tests: identical seeds must produce identical
+event orderings, and cancelled :class:`ScheduledCall` s must never fire."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import RandomStreams, Simulator
+from repro.sim.kernel import ScheduledCall
+
+
+def _random_cascade(seed: int, chains: int = 4, depth: int = 25):
+    """Run a seeded cascade of self-rescheduling callbacks and record the
+    exact (time, label) execution trace."""
+    sim = Simulator()
+    streams = RandomStreams(seed=seed)
+    trace = []
+
+    def hop(label: str, remaining: int) -> None:
+        trace.append((sim.now, label))
+        if remaining > 0:
+            delay = float(streams.stream(label).exponential(1e-3))
+            sim.schedule(delay, hop, label, remaining - 1)
+
+    for chain in range(chains):
+        sim.schedule(0.0, hop, f"chain{chain}", depth)
+    sim.run()
+    return trace
+
+
+class TestSeedDeterminism:
+    def test_identical_seeds_identical_orderings(self):
+        assert _random_cascade(seed=7) == _random_cascade(seed=7)
+
+    def test_different_seeds_diverge(self):
+        assert _random_cascade(seed=7) != _random_cascade(seed=8)
+
+    def test_equal_times_run_in_insertion_order(self):
+        sim = Simulator()
+        hits = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, hits.append, tag)
+        sim.schedule(0.5, hits.append, "first")
+        sim.run()
+        assert hits == ["first", "a", "b", "c"]
+
+    def test_events_executed_counts_every_callback(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestScheduledCall:
+    def test_cancel_suppresses_callback(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.schedule_cancellable(1.0, hits.append, "never")
+        sim.schedule(2.0, hits.append, "after")
+        handle.cancel()
+        sim.run()
+        assert hits == ["after"]
+        assert sim.now == 2.0  # the cancelled entry still advanced the heap
+
+    def test_uncancelled_call_fires(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_cancellable(0.5, hits.append, "yes")
+        sim.run()
+        assert hits == ["yes"]
+
+    def test_cancel_is_idempotent_and_releases_references(self):
+        handle = ScheduledCall(1.0, print, ("x",))
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+        assert handle.fn is None
+        assert handle.args == ()
+
+    def test_cancel_mid_run_from_earlier_callback(self):
+        # A callback scheduled before the target can revoke it in-flight —
+        # the pattern NIC timeout paths rely on.
+        sim = Simulator()
+        hits = []
+        target = sim.schedule_cancellable(2.0, hits.append, "target")
+        sim.schedule(1.0, target.cancel)
+        sim.run()
+        assert hits == []
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_cancellable(-0.1, lambda: None)
