@@ -13,6 +13,11 @@ Profile resolution (env var ``REPRO_BENCH_PROFILE``):
 * ``auto``   (default) — ``paper`` when the paper cache (sharded directory
   or legacy ``paper_cache.json``) already exists, else ``quick``.
 
+Set ``REPRO_BENCH_ENGINE=analytic`` to answer the whole campaign from the
+closed-form M/G/1 engine instead of the simulator (seconds instead of
+minutes; analytic products live under their own cache keys, so the two
+engines never overwrite each other's shards).
+
 Set ``REPRO_BENCH_WORKERS=N`` to fan the pending campaign out over N
 processes up front (``ensure_all``) instead of computing products lazily.
 Pre-sharding monolithic caches (``results/paper_cache.json`` /
@@ -50,8 +55,9 @@ def _resolve_profile() -> str:
 @pytest.fixture(scope="session")
 def pipeline() -> ReproductionPipeline:
     profile = _resolve_profile()
+    engine = os.environ.get("REPRO_BENCH_ENGINE", "sim")
     if profile == "paper":
-        settings = PipelineSettings(profile="paper")
+        settings = PipelineSettings(profile="paper", engine=engine)
         cache, legacy = PAPER_CACHE, LEGACY_PAPER_CACHE
     else:
         settings = PipelineSettings(
@@ -59,6 +65,7 @@ def pipeline() -> ReproductionPipeline:
             impact_duration=0.02,
             signature_duration=0.02,
             calibration_duration=0.03,
+            engine=engine,
         )
         cache, legacy = QUICK_CACHE, LEGACY_QUICK_CACHE
     pipeline = ReproductionPipeline(

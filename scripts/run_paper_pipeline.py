@@ -2,12 +2,14 @@
 
 Usage: python scripts/run_paper_pipeline.py [--cache results/cache]
            [--legacy-cache results/paper_cache.json] [--profile paper|quick]
-           [--workers N] [--chunksize N]
+           [--engine sim|analytic] [--workers N] [--chunksize N]
 
-Roughly 330 deterministic simulation runs, fanned out over a process pool.
+Roughly 330 deterministic experiment runs, fanned out over a process pool.
 Each product group is flushed atomically to its own shard as results land,
 so an interrupted campaign resumes from completed shards; a pre-sharding
-monolithic cache is migrated automatically on first load.
+monolithic cache is migrated automatically on first load.  With
+``--engine analytic`` the same campaign is answered from closed-form M/G/1
+math in seconds (separate cache namespace; fails loudly near saturation).
 """
 
 import argparse
@@ -30,6 +32,13 @@ def main() -> None:
         help="pre-sharding monolithic cache migrated into --cache on load",
     )
     parser.add_argument("--profile", choices=("paper", "quick"), default="paper")
+    parser.add_argument(
+        "--engine",
+        choices=("sim", "analytic"),
+        default="sim",
+        help="experiment backend (sim = discrete-event reference, "
+        "analytic = closed-form M/G/1 fast path)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
     parser.add_argument(
         "--workers",
@@ -44,7 +53,9 @@ def main() -> None:
 
     start = time.time()
     pipeline = ReproductionPipeline(
-        settings=PipelineSettings(profile=args.profile, seed=args.seed),
+        settings=PipelineSettings(
+            profile=args.profile, seed=args.seed, engine=args.engine
+        ),
         cache_path=args.cache,
         legacy_cache=args.legacy_cache,
         workers=args.workers,

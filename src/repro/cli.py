@@ -6,6 +6,7 @@ Examples::
     repro impact fftw
     repro fig6 --profile quick
     repro campaign --workers 4           # run the whole campaign in parallel
+    repro campaign --engine analytic     # closed-form M/G/1 campaign, seconds
     repro table1 --cache results/cache
     repro predict fftw milc --cache results/cache
     repro report --cache results/cache
@@ -33,6 +34,7 @@ __all__ = ["main", "build_parser"]
 # Applied after parsing (see build_parser for why not via argparse defaults).
 _COMMON_DEFAULTS = {
     "profile": "paper",
+    "engine": "sim",
     "seed": 0,
     "cache": "results/cache",
     "legacy_cache": "results/paper_cache.json",
@@ -55,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("paper", "quick"),
         default=argparse.SUPPRESS,
         help="CompressionB catalog size (paper=40 configs, quick=10)",
+    )
+    common.add_argument(
+        "--engine",
+        choices=("sim", "analytic"),
+        default=argparse.SUPPRESS,
+        help="experiment backend: 'sim' (discrete-event reference, default) "
+        "or 'analytic' (closed-form M/G/1 fast path; seconds instead of "
+        "minutes, own cache namespace, fails loudly near saturation)",
     )
     common.add_argument(
         "--seed", type=int, default=argparse.SUPPRESS, help="root RNG seed"
@@ -133,7 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _pipeline(args: argparse.Namespace) -> ReproductionPipeline:
     return ReproductionPipeline(
-        settings=PipelineSettings(profile=args.profile, seed=args.seed),
+        settings=PipelineSettings(
+            profile=args.profile, seed=args.seed, engine=args.engine
+        ),
         cache_path=args.cache,
         legacy_cache=args.legacy_cache,
         workers=args.workers,

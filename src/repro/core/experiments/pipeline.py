@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...config import MachineConfig
 from ...core.measurement import ProbeSignature
+from ...engine.base import available_engines, get_engine
 from ...errors import ExperimentError
 from ...parallel import default_worker_count, map_experiments
 from ...queueing import ServiceEstimate
@@ -38,11 +39,9 @@ from ...units import MS
 from ...workloads import CompressionConfig, Workload
 from ..models import PredictionEngine, default_models
 from .cache import ShardedCache
-from .calibration import calibrate
 from .catalog import APP_NAMES, paper_applications, paper_compression_catalog, quick_compression_catalog
-from .compression import CompressionExperiment, CompressionObservation
-from .corun import CoRunExperiment
-from .impact import ImpactExperiment, ImpactResult
+from .compression import CompressionObservation
+from .impact import ImpactResult
 
 __all__ = [
     "PipelineSettings",
@@ -63,6 +62,10 @@ class PipelineSettings:
         signature_duration: simulated seconds per CompressionB signature run.
         calibration_duration: simulated seconds of idle probing.
         probe_interval: mean probe gap (the paper's 100 ms, scaled ×1/400).
+        engine: experiment backend — ``"sim"`` (discrete-event reference)
+            or ``"analytic"`` (closed-form M/G/1 fast path).  Non-default
+            engines get their own cache namespace (see
+            :meth:`ReproductionPipeline._key`).
     """
 
     profile: str = "paper"
@@ -71,10 +74,16 @@ class PipelineSettings:
     signature_duration: float = 0.03
     calibration_duration: float = 0.05
     probe_interval: float = 0.25 * MS
+    engine: str = "sim"
 
     def __post_init__(self) -> None:
         if self.profile not in ("paper", "quick"):
             raise ExperimentError(f"unknown profile {self.profile!r}")
+        if self.engine not in available_engines():
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; "
+                f"available: {', '.join(available_engines())}"
+            )
 
 
 @dataclass(frozen=True)
@@ -115,47 +124,13 @@ class ExperimentDescriptor:
 def run_experiment(descriptor: ExperimentDescriptor) -> object:
     """Execute one descriptor and return its JSON-ready product value.
 
-    Pure: builds a fresh machine from the descriptor alone, so results are
-    bit-identical whether this runs in the driver process or a pool worker.
+    Dispatches to the engine named in the descriptor's settings (``"sim"``
+    resolves to the discrete-event reference, ``"analytic"`` to the M/G/1
+    fast path).  Pure for a fixed engine: the product is a function of the
+    descriptor alone, so results are identical whether this runs in the
+    driver process or a pool worker.
     """
-    settings = descriptor.settings
-    config = descriptor.machine_config
-    calibration = (
-        ServiceEstimate.from_dict(descriptor.calibration)
-        if descriptor.calibration is not None
-        else None
-    )
-    if descriptor.kind == "calibration":
-        return calibrate(
-            config,
-            duration=settings.calibration_duration,
-            probe_interval=settings.probe_interval,
-        ).to_dict()
-    if descriptor.kind == "impact":
-        experiment = ImpactExperiment(
-            config, calibration, probe_interval=settings.probe_interval
-        )
-        return experiment.measure(
-            descriptor.workload, duration=settings.impact_duration
-        ).to_dict()
-    if descriptor.kind == "comp_sig":
-        experiment = CompressionExperiment(
-            config, calibration, probe_interval=settings.probe_interval
-        )
-        return experiment.signature_of(
-            descriptor.comp_config, duration=settings.signature_duration
-        ).to_dict()
-    if descriptor.kind == "baseline":
-        return CompressionExperiment(config).baseline(descriptor.workload)
-    if descriptor.kind == "degradation":
-        return CompressionExperiment(config).degradation(
-            descriptor.workload, descriptor.comp_config, baseline=descriptor.baseline
-        )
-    if descriptor.kind == "pair":
-        experiment = CoRunExperiment(config)
-        experiment._baselines[descriptor.label] = descriptor.baseline
-        return experiment.slowdown(descriptor.workload, descriptor.other)
-    raise ExperimentError(f"unknown descriptor kind {descriptor.kind!r}")
+    return get_engine(descriptor.settings.engine).run(descriptor)
 
 
 def run_experiment_guarded(
@@ -263,6 +238,19 @@ class ReproductionPipeline:
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
+    def _key(self, raw: str) -> str:
+        """Engine-qualified cache key for one product.
+
+        The default ``sim`` engine keeps the bare key, so pre-engine caches
+        (and the committed paper cache) stay valid byte for byte.  Every
+        other engine prefixes ``"<engine>:"``, which lands its products in
+        their own shard files — analytic and simulated results can share a
+        cache directory without ever colliding.
+        """
+        if self.settings.engine == "sim":
+            return raw
+        return f"{self.settings.engine}:{raw}"
+
     def _memo(self, key: str, compute: Callable[[], object]) -> object:
         if key in self._cache:
             return self._cache[key]
@@ -299,7 +287,7 @@ class ReproductionPipeline:
             )
         for measured in self.app_names:
             keys.extend(f"pair/{measured}/{other}" for other in self.app_names)
-        return keys
+        return [self._key(key) for key in keys]
 
     def pending_keys(self) -> List[str]:
         """Products not yet present in the cache (what a resume would run)."""
@@ -310,7 +298,7 @@ class ReproductionPipeline:
     # ------------------------------------------------------------------
     def _calibration_descriptor(self) -> ExperimentDescriptor:
         return ExperimentDescriptor(
-            key="calibration",
+            key=self._key("calibration"),
             kind="calibration",
             settings=self.settings,
             machine_config=self.machine_config,
@@ -318,11 +306,11 @@ class ReproductionPipeline:
 
     def _calibration_data(self) -> dict:
         self.calibration()
-        return self._cache["calibration"]  # type: ignore[return-value]
+        return self._cache[self._key("calibration")]  # type: ignore[return-value]
 
     def _impact_descriptor(self, name: Optional[str]) -> ExperimentDescriptor:
         return ExperimentDescriptor(
-            key=f"impact/{name}" if name else "impact/idle",
+            key=self._key(f"impact/{name}" if name else "impact/idle"),
             kind="impact",
             settings=self.settings,
             machine_config=self.machine_config,
@@ -332,7 +320,7 @@ class ReproductionPipeline:
 
     def _comp_sig_descriptor(self, config: CompressionConfig) -> ExperimentDescriptor:
         return ExperimentDescriptor(
-            key=f"comp_sig/{config.label}",
+            key=self._key(f"comp_sig/{config.label}"),
             kind="comp_sig",
             settings=self.settings,
             machine_config=self.machine_config,
@@ -342,7 +330,7 @@ class ReproductionPipeline:
 
     def _baseline_descriptor(self, name: str) -> ExperimentDescriptor:
         return ExperimentDescriptor(
-            key=f"baseline/{name}",
+            key=self._key(f"baseline/{name}"),
             kind="baseline",
             settings=self.settings,
             machine_config=self.machine_config,
@@ -353,7 +341,7 @@ class ReproductionPipeline:
         self, name: str, config: CompressionConfig
     ) -> ExperimentDescriptor:
         return ExperimentDescriptor(
-            key=f"degradation/{name}/{config.label}",
+            key=self._key(f"degradation/{name}/{config.label}"),
             kind="degradation",
             settings=self.settings,
             machine_config=self.machine_config,
@@ -364,7 +352,7 @@ class ReproductionPipeline:
 
     def _pair_descriptor(self, measured: str, other: str) -> ExperimentDescriptor:
         return ExperimentDescriptor(
-            key=f"pair/{measured}/{other}",
+            key=self._key(f"pair/{measured}/{other}"),
             kind="pair",
             settings=self.settings,
             machine_config=self.machine_config,
@@ -386,7 +374,8 @@ class ReproductionPipeline:
     def idle_signature(self) -> ProbeSignature:
         """The idle switch's probe signature (Fig. 3's 'No App' series)."""
         data = self._memo(
-            "impact/idle", lambda: run_experiment(self._impact_descriptor(None))
+            self._key("impact/idle"),
+            lambda: run_experiment(self._impact_descriptor(None)),
         )
         return ImpactResult.from_dict(data).signature  # type: ignore[arg-type]
 
@@ -394,14 +383,15 @@ class ReproductionPipeline:
         """Impact experiment on one application (probe signature + ρ)."""
         self._app(name)  # validate before touching the cache
         data = self._memo(
-            f"impact/{name}", lambda: run_experiment(self._impact_descriptor(name))
+            self._key(f"impact/{name}"),
+            lambda: run_experiment(self._impact_descriptor(name)),
         )
         return ImpactResult.from_dict(data)  # type: ignore[arg-type]
 
     def compression_signature(self, config: CompressionConfig) -> CompressionObservation:
         """Signature of one CompressionB config (Fig. 6 point)."""
         data = self._memo(
-            f"comp_sig/{config.label}",
+            self._key(f"comp_sig/{config.label}"),
             lambda: run_experiment(self._comp_sig_descriptor(config)),
         )
         return CompressionObservation.from_dict(data)  # type: ignore[arg-type]
@@ -417,7 +407,7 @@ class ReproductionPipeline:
 
     def app_degradation(self, name: str, config: CompressionConfig) -> float:
         """% degradation of one app under one CompressionB config (Fig. 7 point)."""
-        key = f"degradation/{name}/{config.label}"
+        key = self._key(f"degradation/{name}/{config.label}")
         if key in self._cache:
             return float(self._cache[key])  # type: ignore[arg-type]
         descriptor = self._degradation_descriptor(name, config)
@@ -435,7 +425,7 @@ class ReproductionPipeline:
 
     def pair_slowdown(self, measured: str, other: str) -> float:
         """Measured % slowdown of ``measured`` co-running with ``other``."""
-        key = f"pair/{measured}/{other}"
+        key = self._key(f"pair/{measured}/{other}")
         if key in self._cache:
             return float(self._cache[key])  # type: ignore[arg-type]
         descriptor = self._pair_descriptor(measured, other)
@@ -510,24 +500,24 @@ class ReproductionPipeline:
         pending = set(self.pending_keys())
         progress = _CampaignProgress(len(pending), self.verbose)
 
-        if "calibration" in pending:
+        if self._key("calibration") in pending:
             self.calibration()
-            progress.advance("calibration")
+            progress.advance(self._key("calibration"))
 
         stage_one = [
             self._impact_descriptor(name)
             for name in [None, *self.app_names]
-            if (f"impact/{name}" if name else "impact/idle") in pending
+            if self._key(f"impact/{name}" if name else "impact/idle") in pending
         ]
         stage_one.extend(
             self._comp_sig_descriptor(config)
             for config in self.catalog
-            if f"comp_sig/{config.label}" in pending
+            if self._key(f"comp_sig/{config.label}") in pending
         )
         stage_one.extend(
             self._baseline_descriptor(name)
             for name in self.app_names
-            if f"baseline/{name}" in pending
+            if self._key(f"baseline/{name}") in pending
         )
         self._run_stage(stage_one, count, chunk, progress)
 
@@ -535,13 +525,13 @@ class ReproductionPipeline:
             self._degradation_descriptor(name, config)
             for name in self.app_names
             for config in self.catalog
-            if f"degradation/{name}/{config.label}" in pending
+            if self._key(f"degradation/{name}/{config.label}") in pending
         ]
         stage_two.extend(
             self._pair_descriptor(measured, other)
             for measured in self.app_names
             for other in self.app_names
-            if f"pair/{measured}/{other}" in pending
+            if self._key(f"pair/{measured}/{other}") in pending
         )
         self._run_stage(stage_two, count, chunk, progress)
 

@@ -52,7 +52,10 @@ class RunResult:
 
     ``wall_seconds`` is host wall-clock spent executing the run — purely
     diagnostic (campaign progress/ETA calibration), never part of a cached
-    product.
+    product.  ``counters`` is the kernel's instrumentation snapshot
+    (per-component event/callback tallies such as ``nic.packets`` or
+    ``switch0.served``) — also diagnostic, for profiling and for comparing
+    what different engines actually executed.
     """
 
     elapsed: Dict[str, float] = field(default_factory=dict)
@@ -60,6 +63,7 @@ class RunResult:
     true_utilization: float = 0.0
     events: int = 0
     wall_seconds: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
 
     def elapsed_of(self, name: str) -> float:
         if name not in self.elapsed:
@@ -127,4 +131,5 @@ def execute(
     result.true_utilization = machine.network.true_utilization()
     result.events = machine.sim.events_executed
     result.wall_seconds = time.perf_counter() - wall_start
+    result.counters = machine.sim.counters()
     return result

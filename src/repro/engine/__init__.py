@@ -1,0 +1,30 @@
+"""Pluggable experiment engines.
+
+The reproduction pipeline describes every experiment as an
+:class:`~repro.core.experiments.pipeline.ExperimentDescriptor` and hands it
+to a registered :class:`ExperimentEngine` for execution.  Two engines ship
+built-in:
+
+* ``sim`` (:mod:`repro.engine.simulation`) — the discrete-event simulator,
+  the default and the reference: bit-identical to the pre-engine pipeline.
+* ``analytic`` (:mod:`repro.engine.analytic`) — a closed-form M/G/1
+  fast path that answers the same descriptors from queueing math in
+  milliseconds, failing loudly outside its validity range.
+
+Only the registry is imported here; engine modules load lazily via
+:func:`get_engine` to keep the import graph acyclic.
+"""
+
+from .base import (
+    ExperimentEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+
+__all__ = [
+    "ExperimentEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+]

@@ -1,0 +1,504 @@
+"""The analytic engine: experiments answered by closed-form M/G/1 math.
+
+Instead of simulating packets, this backend derives each workload's offered
+load from its :class:`~repro.workloads.traffic.TrafficSummary` and solves a
+small fixed point per experiment:
+
+    round time  T(ρ) = compute + period + serialization/(bandwidth share)
+                       + blocking latencies · (idle hop + Wq(ρ))
+    utilization ρ    = (busy seconds per round) / (T(ρ) · ports)
+
+The busy-seconds numerator is exactly what the simulator's ground-truth
+counter accumulates (wire serialization plus per-packet routing overhead,
+averaged over ports), so the engine's ``true_utilization`` lives in the same
+coordinate system as the simulator's.  Probe signatures are synthesized from
+the Pollaczek–Khinchine forward map on the *calibration the descriptor
+carries*, which makes the downstream P–K inversion recover the engine's ρ
+exactly — the pipeline's queue models see self-consistent inputs either way.
+
+The model assumes Poisson packet arrivals, steady state, and a stable,
+non-saturated switch.  Outside that trust region — converged utilization at
+or beyond :data:`AnalyticEngine.max_utilization`, a non-convergent fixed
+point, or a workload without a traffic summary — it raises
+:class:`~repro.errors.AnalyticModelError` instead of extrapolating.
+
+Everything here is deterministic: no RNG is consumed, and histogram shapes
+come from lognormal quantiles (``statistics.NormalDist``), so analytic
+products are reproducible byte-for-byte across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import NormalDist
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..core.measurement import LatencyCollector, LatencyHistogram
+from ..errors import AnalyticModelError, ExperimentError
+from ..queueing import ServiceEstimate, pk_waiting_time, sojourn_from_utilization
+from ..workloads import CompressionB, ImpactB, Workload
+from ..workloads.traffic import TrafficSummary
+from .base import ExperimentEngine, register_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.experiments.pipeline import ExperimentDescriptor, PipelineSettings
+
+__all__ = ["AnalyticEngine", "SwitchModel"]
+
+#: Histogram synthesis cap: quantile samples beyond this add no visible mass.
+_MAX_SYNTH_SAMPLES = 4096
+
+_STANDARD_NORMAL = NormalDist()
+
+
+class SwitchModel:
+    """Closed-form view of one machine's switch fabric.
+
+    Collapses the :class:`MachineConfig` into the handful of per-packet
+    figures the M/G/1 algebra needs, honouring both switch modes:
+
+    * ``output_queued`` — packets cost wire serialization at the port rate
+      plus the stochastic routing overhead; the utilization denominator is
+      the attached port count, matching
+      :meth:`OutputQueuedSwitch.utilization`.
+    * ``central`` — packets cost one size-independent fabric service;
+      the denominator is the server count.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        network = config.network
+        self.config = config
+        self.port_bandwidth = network.link_bandwidth
+        if network.switch_mode == "central":
+            self.ports = network.fabric_servers
+            self.size_dependent = False
+            self.service_mean = network.fabric_service.mean
+            self.service_variance = network.fabric_service.variance
+        else:
+            self.ports = config.node_count
+            self.size_dependent = True
+            self.service_mean = network.port_overhead.mean
+            self.service_variance = network.port_overhead.variance
+
+    # ------------------------------------------------------------------
+    def packet_service(self, nbytes: float) -> float:
+        """Mean switch busy time one packet of ``nbytes`` causes."""
+        if self.size_dependent:
+            return nbytes / self.port_bandwidth + self.service_mean
+        return self.service_mean
+
+    def busy_per_round(self, summary: TrafficSummary) -> float:
+        """Switch busy seconds one round of ``summary`` generates."""
+        if self.size_dependent:
+            return (
+                summary.bytes / self.port_bandwidth
+                + summary.packets * self.service_mean
+            )
+        return summary.packets * self.service_mean
+
+    def idle_one_way(self, nbytes: float) -> float:
+        """Uncontended one-way path latency for one ``nbytes`` packet."""
+        network = self.config.network
+        return (
+            network.nic_overhead
+            + nbytes / network.link_bandwidth
+            + network.link_latency
+            + self.packet_service(nbytes)
+            + network.egress_latency
+        )
+
+    def deterministic_one_way(self, nbytes: float) -> float:
+        """The idle path with the stochastic service term at its floor."""
+        return self.idle_one_way(nbytes) - self.service_mean
+
+    def waiting_time(self, utilization: float, mean_packet_bytes: float) -> float:
+        """P–K mean queueing delay Wq at a port running at ``utilization``.
+
+        Service moments come from the traffic's mean packet size plus the
+        routing-overhead variance; ``utilization`` is clamped just below 1
+        so the fixed-point iteration can pass transiently-unstable values.
+        """
+        rho = min(max(utilization, 0.0), 0.999)
+        if rho == 0.0:
+            return 0.0
+        mean_service = self.packet_service(mean_packet_bytes)
+        return pk_waiting_time(
+            arrival_rate=rho / mean_service,
+            service_rate=1.0 / mean_service,
+            service_variance=self.service_variance,
+        )
+
+
+class AnalyticEngine(ExperimentEngine):
+    """Answers experiment descriptors from M/G/1 closed forms.
+
+    A full paper campaign (~330 products) completes in well under ten
+    seconds because each product costs one small fixed-point solve instead
+    of millions of simulated events.  Use it for sweeps, sanity checks, and
+    CI smoke; use the ``sim`` engine when packet-level fidelity matters.
+
+    Attributes:
+        max_utilization: validity ceiling — converged total utilization at
+            or above this raises :class:`AnalyticModelError` (the Poisson /
+            steady-state assumptions have no business beyond it).
+        min_bandwidth_share: floor on the (1 − ρ_ext) bandwidth share an
+            interfered workload keeps, mirroring the round-robin port
+            arbitration that never fully starves a flow.
+    """
+
+    name = "analytic"
+    max_utilization = 0.95
+    min_bandwidth_share = 0.05
+    _bisection_steps = 60
+    _max_iterations = 500
+    _tolerance = 1e-12
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run(self, descriptor: "ExperimentDescriptor") -> object:
+        settings = descriptor.settings
+        model = SwitchModel(descriptor.machine_config)
+        if descriptor.kind == "calibration":
+            return self._calibration(model, settings)
+        if descriptor.kind == "impact":
+            return self._impact(model, settings, descriptor)
+        if descriptor.kind == "comp_sig":
+            return self._comp_sig(model, settings, descriptor)
+        if descriptor.kind == "baseline":
+            return self._baseline(model, descriptor.workload)
+        if descriptor.kind == "degradation":
+            comp = CompressionB(descriptor.comp_config)
+            return self._slowdown(model, descriptor.workload, comp, descriptor.baseline)
+        if descriptor.kind == "pair":
+            return self._slowdown(
+                model, descriptor.workload, descriptor.other, descriptor.baseline
+            )
+        raise ExperimentError(f"unknown descriptor kind {descriptor.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Fixed point
+    # ------------------------------------------------------------------
+    def _round_time(
+        self,
+        model: SwitchModel,
+        summary: TrafficSummary,
+        rho_total: float,
+        rho_external: float,
+        mean_packet: float,
+    ) -> float:
+        share = max(1.0 - rho_external, self.min_bandwidth_share)
+        serialization = summary.blocking_bytes / (model.port_bandwidth * share)
+        hop = model.idle_one_way(mean_packet) + model.waiting_time(rho_total, mean_packet)
+        return (
+            summary.compute
+            + summary.period
+            + serialization
+            + summary.blocking_latencies * hop
+        )
+
+    def _solve_rho(
+        self,
+        model: SwitchModel,
+        summary: TrafficSummary,
+        rho_external: float,
+        mean_packet: float,
+        label: str,
+    ) -> float:
+        """Own steady-state utilization under a fixed external load.
+
+        Finds the root of ``h(ρ) = ρ − busy/(T(ρ_ext + ρ) · ports)``.  Since
+        a longer round means a lower offered rate, ``h`` is strictly
+        increasing, so bisection on [0, 1] converges unconditionally — the
+        naive damped iteration oscillates here because Wq's blow-up makes
+        the map's slope steeper than −1 near the fixed point.
+        """
+        busy = model.busy_per_round(summary)
+        if busy <= 0.0:
+            return 0.0
+
+        def excess(rho: float) -> float:
+            period = self._round_time(
+                model, summary, rho_external + rho, rho_external, mean_packet
+            )
+            if period <= 0.0:
+                return -1.0  # zero-length round offering traffic: saturated
+            return rho - busy / (period * model.ports)
+
+        low, high = 0.0, 1.0
+        if excess(high) < 0.0:
+            raise AnalyticModelError(
+                f"analytic model saturated for {label!r}: offered load "
+                f"exceeds switch capacity even at utilization 1 "
+                "(use --engine sim for this experiment)"
+            )
+        for _ in range(self._bisection_steps):
+            mid = 0.5 * (low + high)
+            if excess(mid) < 0.0:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+    def _solve(
+        self,
+        model: SwitchModel,
+        summary: TrafficSummary,
+        rho_external: float,
+        mean_packet: float,
+        label: str,
+    ) -> tuple:
+        """``(round_time, rho_self)`` equilibrium under ``rho_external``.
+
+        A converged total beyond the validity ceiling raises
+        :class:`AnalyticModelError` — the Poisson/steady-state algebra has
+        nothing trustworthy to say about a near-saturated switch.
+        """
+        rho_self = self._solve_rho(model, summary, rho_external, mean_packet, label)
+        total = rho_external + rho_self
+        if total >= self.max_utilization:
+            raise AnalyticModelError(
+                f"analytic model out of validity range for {label!r}: "
+                f"utilization {total:.3f} >= {self.max_utilization} "
+                "(Poisson/steady-state assumptions break down; "
+                "use --engine sim for this experiment)"
+            )
+        period = self._round_time(model, summary, total, rho_external, mean_packet)
+        return period, rho_self
+
+    def _solve_joint(
+        self,
+        model: SwitchModel,
+        first: TrafficSummary,
+        second: TrafficSummary,
+        mean_packet: float,
+        first_label: str,
+        second_label: str,
+    ) -> tuple:
+        """Coupled equilibrium ``(rho_first, rho_second)`` of two workloads.
+
+        Each workload's round time stretches under the *other's* converged
+        utilization (not its isolated one — a co-runner under interference
+        slows down and offers less load, which is exactly what keeps two
+        heavy workloads below saturation in the simulator).  Damped
+        Gauss–Seidel over the two monotone best-response curves.
+        """
+        rho_first = rho_second = 0.0
+        for _ in range(self._max_iterations):
+            next_first = self._solve_rho(
+                model, first, rho_second, mean_packet, first_label
+            )
+            next_second = self._solve_rho(
+                model, second, next_first, mean_packet, second_label
+            )
+            if (
+                abs(next_first - rho_first) <= self._tolerance
+                and abs(next_second - rho_second) <= self._tolerance
+            ):
+                rho_first, rho_second = next_first, next_second
+                break
+            rho_first = 0.5 * (rho_first + next_first)
+            rho_second = 0.5 * (rho_second + next_second)
+        else:
+            raise AnalyticModelError(
+                f"analytic joint equilibrium for {first_label!r} + "
+                f"{second_label!r} did not converge"
+            )
+        total = rho_first + rho_second
+        if total >= self.max_utilization:
+            raise AnalyticModelError(
+                f"analytic model out of validity range for {first_label!r} + "
+                f"{second_label!r}: utilization {total:.3f} >= "
+                f"{self.max_utilization} (use --engine sim for this experiment)"
+            )
+        return rho_first, rho_second
+
+    @staticmethod
+    def _mean_packet(summaries: Sequence[TrafficSummary]) -> float:
+        """Packet-weighted mean packet size over the active traffic mix."""
+        packets = sum(s.packets for s in summaries)
+        if packets <= 0:
+            return 0.0
+        return sum(s.bytes for s in summaries) / packets
+
+    def _probe_summary(
+        self, config: MachineConfig, settings: "PipelineSettings"
+    ) -> TrafficSummary:
+        probe = ImpactB(LatencyCollector(), interval=settings.probe_interval)
+        return probe.traffic(config)
+
+    # ------------------------------------------------------------------
+    # Products
+    # ------------------------------------------------------------------
+    def _probe_count(
+        self, settings: "PipelineSettings", config: MachineConfig, duration: float
+    ) -> int:
+        pairs = (config.node_count // 2) * config.node.sockets
+        # Matches the sim path: 10% of the window is discarded as warm-up.
+        expected = 0.9 * duration / settings.probe_interval * max(1, pairs)
+        return max(2, min(_MAX_SYNTH_SAMPLES, int(expected)))
+
+    def _calibration(self, model: SwitchModel, settings: "PipelineSettings") -> dict:
+        probe_bytes = 1024  # ImpactB's single-packet probe message
+        mean = model.idle_one_way(probe_bytes)
+        count = self._probe_count(
+            settings, model.config, settings.calibration_duration
+        )
+        return ServiceEstimate(
+            mean=mean,
+            variance=model.service_variance,
+            minimum=model.deterministic_one_way(probe_bytes),
+            sample_count=count,
+        ).to_dict()
+
+    def _signature(
+        self,
+        model: SwitchModel,
+        settings: "PipelineSettings",
+        calibration: Optional[dict],
+        rho: float,
+        duration: float,
+    ) -> dict:
+        if calibration is None:
+            raise AnalyticModelError(
+                "analytic signatures need a calibration estimate in the descriptor"
+            )
+        estimate = ServiceEstimate.from_dict(calibration)
+        mean = sojourn_from_utilization(rho, estimate.rate, estimate.variance)
+        # Spread grows with congestion: the idle dispersion stretched by the
+        # same 1/(1-rho) factor that stretches the queueing delay.
+        std = math.sqrt(max(estimate.variance, 1e-18)) / (1.0 - rho)
+        count = self._probe_count(settings, model.config, duration)
+        histogram = _lognormal_histogram(mean, std, count)
+        return {
+            "mean": mean,
+            "std": std,
+            "count": count,
+            "utilization": rho,
+            "histogram": histogram.to_dict(),
+        }
+
+    def _impact(
+        self,
+        model: SwitchModel,
+        settings: "PipelineSettings",
+        descriptor: "ExperimentDescriptor",
+    ) -> dict:
+        probe = self._probe_summary(model.config, settings)
+        workload = descriptor.workload
+        if workload is None:
+            _period, rho = self._solve(
+                model, probe, 0.0, self._mean_packet([probe]), "impactb"
+            )
+        else:
+            summary = workload.traffic(model.config)
+            mean_packet = self._mean_packet([probe, summary])
+            rho_probe, rho_app = self._solve_joint(
+                model, probe, summary, mean_packet, "impactb", workload.name
+            )
+            rho = rho_probe + rho_app
+        return {
+            "signature": self._signature(
+                model, settings, descriptor.calibration, rho, settings.impact_duration
+            ),
+            "true_utilization": rho,
+            "sim_time": settings.impact_duration,
+        }
+
+    def _comp_sig(
+        self,
+        model: SwitchModel,
+        settings: "PipelineSettings",
+        descriptor: "ExperimentDescriptor",
+    ) -> dict:
+        comp_config = descriptor.comp_config
+        workload = CompressionB(comp_config)
+        probe = self._probe_summary(model.config, settings)
+        summary = workload.traffic(model.config)
+        mean_packet = self._mean_packet([probe, summary])
+        rho_probe, rho_comp = self._solve_joint(
+            model, probe, summary, mean_packet, "impactb", comp_config.label
+        )
+        rho = rho_probe + rho_comp
+        return {
+            "partners": comp_config.partners,
+            "messages": comp_config.messages,
+            "sleep_cycles": comp_config.sleep_cycles,
+            "message_bytes": comp_config.message_bytes,
+            "impact": {
+                "signature": self._signature(
+                    model,
+                    settings,
+                    descriptor.calibration,
+                    rho,
+                    settings.signature_duration,
+                ),
+                "true_utilization": rho,
+                "sim_time": settings.signature_duration,
+            },
+        }
+
+    def _baseline(self, model: SwitchModel, workload: Optional[Workload]) -> float:
+        if workload is None:
+            raise ExperimentError("baseline descriptors need a workload")
+        summary = workload.traffic(model.config)
+        mean_packet = self._mean_packet([summary])
+        period, _rho = self._solve(model, summary, 0.0, mean_packet, workload.name)
+        return summary.rounds * period
+
+    def _slowdown(
+        self,
+        model: SwitchModel,
+        measured: Optional[Workload],
+        other: Optional[Workload],
+        baseline: Optional[float],
+    ) -> float:
+        if measured is None or other is None:
+            raise ExperimentError("slowdown descriptors need both workloads")
+        if baseline is None or baseline <= 0:
+            raise ExperimentError(
+                f"slowdown for {measured.name!r} needs a positive baseline"
+            )
+        measured_summary = measured.traffic(model.config)
+        other_summary = other.traffic(model.config)
+        mean_packet = self._mean_packet([measured_summary, other_summary])
+        rho_measured, rho_other = self._solve_joint(
+            model, measured_summary, other_summary, mean_packet,
+            measured.name, other.name,
+        )
+        period = self._round_time(
+            model,
+            measured_summary,
+            rho_measured + rho_other,
+            rho_other,
+            mean_packet,
+        )
+        interfered = measured_summary.rounds * period
+        return 100.0 * (interfered - baseline) / baseline
+
+
+def _lognormal_histogram(mean: float, std: float, count: int) -> LatencyHistogram:
+    """A deterministic latency histogram with the requested two moments.
+
+    Synthesizes ``count`` lognormal quantile samples (midpoint probabilities,
+    standard-normal inverse CDF from :class:`statistics.NormalDist`) and bins
+    them on the paper's shared edges.  No RNG: identical inputs give
+    identical histograms on every platform.
+    """
+    if mean <= 0 or not math.isfinite(mean):
+        raise AnalyticModelError(f"histogram mean must be positive, got {mean}")
+    sigma_sq = math.log(1.0 + (std * std) / (mean * mean)) if std > 0 else 0.0
+    sigma = math.sqrt(sigma_sq)
+    mu = math.log(mean) - 0.5 * sigma_sq
+    probabilities = (np.arange(count, dtype=float) + 0.5) / count
+    quantiles = np.asarray(
+        [_STANDARD_NORMAL.inv_cdf(float(p)) for p in probabilities]
+    )
+    samples = np.exp(mu + sigma * quantiles)
+    return LatencyHistogram.from_values(samples)
+
+
+register_engine("analytic", AnalyticEngine)

@@ -1,0 +1,118 @@
+"""The experiment-engine seam: protocol + registry.
+
+An :class:`~repro.core.experiments.pipeline.ExperimentDescriptor` is a pure
+*description* of one campaign experiment; an :class:`ExperimentEngine` is a
+strategy for answering it.  The registry maps engine names (``"sim"``,
+``"analytic"``) to lazily-constructed engine instances, so the pipeline
+never hard-codes how a product gets computed.
+
+Built-in engines live in sibling modules that are imported only when first
+requested — this module must stay import-light because the experiments
+pipeline imports it at module load time (importing the engines eagerly here
+would close an import cycle through :mod:`repro.core.experiments`).
+
+Third parties (tests, ablation studies) can plug in their own backend:
+
+    >>> from repro.engine import register_engine
+    >>> register_engine("null", lambda: MyNullEngine())   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import importlib
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from ..errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.experiments.pipeline import ExperimentDescriptor
+
+__all__ = [
+    "ExperimentEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+]
+
+
+class ExperimentEngine(ABC):
+    """One strategy for turning experiment descriptors into products.
+
+    Engines must be stateless between :meth:`run` calls (one instance is
+    shared process-wide) and must return the same JSON-ready product shape
+    for a given descriptor ``kind`` regardless of backend, so cached
+    products deserialize identically whichever engine produced them.
+    """
+
+    #: Registry name; also the cache-key qualifier (see pipeline._key).
+    name: str = "engine"
+
+    @abstractmethod
+    def run(self, descriptor: "ExperimentDescriptor") -> object:
+        """Compute one descriptor's JSON-serializable product value."""
+
+
+#: Built-in engines, resolved lazily on first :func:`get_engine` call.
+_BUILTIN_MODULES: Dict[str, str] = {
+    "sim": ".simulation",
+    "analytic": ".analytic",
+}
+
+_FACTORIES: Dict[str, Callable[[], ExperimentEngine]] = {}
+_INSTANCES: Dict[str, ExperimentEngine] = {}
+
+
+def register_engine(
+    name: str,
+    factory: Callable[[], ExperimentEngine],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register an engine factory under ``name``.
+
+    Args:
+        name: registry key (also used to qualify cache keys; keep it short
+            and filesystem-friendly).
+        factory: zero-argument callable building the engine instance.
+        replace: allow overwriting an existing registration.
+
+    Raises:
+        ExperimentError: on duplicate registration without ``replace``.
+    """
+    if not name or "/" in name:
+        raise ExperimentError(f"invalid engine name {name!r}")
+    if name in _FACTORIES and not replace:
+        raise ExperimentError(f"engine {name!r} is already registered")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def get_engine(name: str) -> ExperimentEngine:
+    """Resolve an engine by name, importing built-ins on demand.
+
+    Instances are cached: repeated calls return the same object.
+
+    Raises:
+        ExperimentError: for names neither registered nor built-in.
+    """
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    if name not in _FACTORIES and name in _BUILTIN_MODULES:
+        # The module registers itself at import time.
+        importlib.import_module(_BUILTIN_MODULES[name], __package__)
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ExperimentError(
+            f"unknown experiment engine {name!r}; "
+            f"available: {', '.join(available_engines())}"
+        )
+    instance = factory()
+    _INSTANCES[name] = instance
+    return instance
+
+
+def available_engines() -> List[str]:
+    """Names resolvable by :func:`get_engine` (built-ins + registered)."""
+    return sorted(set(_FACTORIES) | set(_BUILTIN_MODULES))

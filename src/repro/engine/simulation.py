@@ -1,0 +1,77 @@
+"""The simulation engine: experiments answered by discrete-event simulation.
+
+This is the original execution path of the pipeline, moved verbatim behind
+the :class:`~repro.engine.base.ExperimentEngine` seam.  For a fixed
+descriptor it is bit-identical to the pre-engine ``run_experiment``: same
+machine construction, same RNG streams, same product dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ExperimentError
+from ..queueing import ServiceEstimate
+from .base import ExperimentEngine, register_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.experiments.pipeline import ExperimentDescriptor
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine(ExperimentEngine):
+    """Executes descriptors on the event-driven simulator (the reference)."""
+
+    name = "sim"
+
+    def run(self, descriptor: "ExperimentDescriptor") -> object:
+        # Imported here, not at module top: these experiment modules are
+        # themselves reachable from repro.core.experiments' package import,
+        # and this engine module only loads lazily via get_engine().
+        from ..core.experiments.calibration import calibrate
+        from ..core.experiments.compression import CompressionExperiment
+        from ..core.experiments.corun import CoRunExperiment
+        from ..core.experiments.impact import ImpactExperiment
+
+        settings = descriptor.settings
+        config = descriptor.machine_config
+        calibration = (
+            ServiceEstimate.from_dict(descriptor.calibration)
+            if descriptor.calibration is not None
+            else None
+        )
+        if descriptor.kind == "calibration":
+            return calibrate(
+                config,
+                duration=settings.calibration_duration,
+                probe_interval=settings.probe_interval,
+            ).to_dict()
+        if descriptor.kind == "impact":
+            experiment = ImpactExperiment(
+                config, calibration, probe_interval=settings.probe_interval
+            )
+            return experiment.measure(
+                descriptor.workload, duration=settings.impact_duration
+            ).to_dict()
+        if descriptor.kind == "comp_sig":
+            experiment = CompressionExperiment(
+                config, calibration, probe_interval=settings.probe_interval
+            )
+            return experiment.signature_of(
+                descriptor.comp_config, duration=settings.signature_duration
+            ).to_dict()
+        if descriptor.kind == "baseline":
+            return CompressionExperiment(config).baseline(descriptor.workload)
+        if descriptor.kind == "degradation":
+            return CompressionExperiment(config).degradation(
+                descriptor.workload, descriptor.comp_config, baseline=descriptor.baseline
+            )
+        if descriptor.kind == "pair":
+            experiment = CoRunExperiment(config)
+            experiment._baselines[descriptor.label] = descriptor.baseline
+            return experiment.slowdown(descriptor.workload, descriptor.other)
+        raise ExperimentError(f"unknown descriptor kind {descriptor.kind!r}")
+
+
+register_engine("sim", SimulationEngine)

@@ -16,6 +16,7 @@ __all__ = [
     "MatchingError",
     "EstimationError",
     "ExperimentError",
+    "AnalyticModelError",
     "ModelError",
 ]
 
@@ -58,6 +59,16 @@ class EstimationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was configured or executed incorrectly."""
+
+
+class AnalyticModelError(ExperimentError):
+    """The analytic engine was asked for a product outside its validity range.
+
+    The closed-form M/G/1 backend assumes Poisson packet arrivals and a
+    stable, lightly-to-moderately loaded switch; rather than extrapolate
+    silently it refuses loudly.  Callers should fall back to the simulation
+    engine for such experiments.
+    """
 
 
 class ModelError(ReproError):

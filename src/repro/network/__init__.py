@@ -10,6 +10,7 @@ from .link import Link
 from .network import InterconnectNetwork
 from .nic import NIC
 from .packet import Packet, packet_count, packetize
+from .sampling import SampleStream
 from .service_time import (
     DeterministicService,
     ExponentialService,
@@ -31,6 +32,7 @@ __all__ = [
     "SwitchFabric",
     "OutputQueuedSwitch",
     "FabricStats",
+    "SampleStream",
     "InterconnectNetwork",
     "Topology",
     "SingleSwitchTopology",

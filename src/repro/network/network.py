@@ -98,6 +98,32 @@ class InterconnectNetwork:
         self._pending: Dict[int, _PendingMessage] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self._register_counters()
+
+    def _register_counters(self) -> None:
+        """Expose component tallies through the kernel's counter registry.
+
+        Probes are pulled only when :meth:`Simulator.counters` is called, so
+        the packet hot path pays nothing for them.
+        """
+        self.sim.register_counter("network.messages", lambda: self.messages_sent)
+        self.sim.register_counter("network.bytes", lambda: self.bytes_sent)
+        self.sim.register_counter("network.in_flight", lambda: len(self._pending))
+        self.sim.register_counter(
+            "nic.packets", lambda: sum(nic.packets_injected for nic in self.nics)
+        )
+        self.sim.register_counter(
+            "nic.bytes", lambda: sum(nic.bytes_injected for nic in self.nics)
+        )
+        for index, switch in enumerate(self.switches):
+            stats = switch.stats
+            self.sim.register_counter(
+                f"switch{index}.arrivals", lambda s=stats: s.arrivals
+            )
+            self.sim.register_counter(f"switch{index}.served", lambda s=stats: s.served)
+            self.sim.register_counter(
+                f"switch{index}.busy_seconds", lambda s=stats: s.busy_time
+            )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,65 @@
+"""Batched sampling from service-time models.
+
+Per-call sampling (especially for mixtures, whose ``sample`` pays a
+``rng.choice`` per draw) dominates the hot-path profile, so every component
+that consumes a stochastic per-packet time draws through a
+:class:`SampleStream`: a vectorized buffer refilled in large batches.
+
+Historically the switch classes each hand-rolled this buffer; they now share
+this one implementation.  The refill pattern is kept exactly as it was —
+one throwaway priming draw, then batches of ``batch`` — so that seeded
+experiment results remain bit-identical across the refactor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .service_time import ServiceTimeModel
+
+__all__ = ["SampleStream"]
+
+
+class SampleStream:
+    """An endless stream of draws from one model, buffered in batches.
+
+    Args:
+        model: the distribution to draw from.
+        rng: random stream consumed by the vectorized draws.
+        batch: draws per refill (8192 amortizes numpy call overhead without
+            holding a large buffer per component).
+
+    Note:
+        Construction primes the stream with a single discarded draw.  This
+        mirrors the original hand-rolled buffers (which initialized with a
+        length-1 buffer already past its end) and therefore preserves the
+        exact RNG consumption sequence of previously cached experiments.
+    """
+
+    __slots__ = ("model", "rng", "batch", "_buffer", "_index")
+
+    def __init__(
+        self, model: ServiceTimeModel, rng: np.random.Generator, batch: int = 8192
+    ) -> None:
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        self.model = model
+        self.rng = rng
+        self.batch = batch
+        self._buffer = model.sample_many(rng, 1)
+        self._index = 1
+
+    def next(self) -> float:
+        """The next draw (refilling the buffer when exhausted)."""
+        index = self._index
+        if index >= len(self._buffer):
+            self._buffer = self.model.sample_many(self.rng, self.batch)
+            index = 0
+        self._index = index + 1
+        return float(self._buffer[index])
+
+    __call__ = next
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SampleStream {self.model!r} batch={self.batch}>"

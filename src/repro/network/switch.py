@@ -30,6 +30,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..sim import Simulator
 from .fabric_stats import FabricStats
 from .packet import Packet
+from .sampling import SampleStream
 from .service_time import ServiceTimeModel
 
 __all__ = ["SwitchFabric", "OutputQueuedSwitch"]
@@ -111,10 +112,7 @@ class SwitchFabric(_SwitchBase):
         self.servers = servers
         self._busy = 0
         self._queue: Deque[Packet] = deque()
-        # Service times are drawn in batches: per-call sampling (especially
-        # for mixtures) dominates the profile otherwise.
-        self._service_buffer = service_model.sample_many(rng, 1)
-        self._service_index = 1
+        self._service = SampleStream(service_model, rng)
 
     @property
     def queue_length(self) -> int:
@@ -136,17 +134,9 @@ class SwitchFabric(_SwitchBase):
         else:
             self._queue.append(packet)
 
-    def _next_service_time(self) -> float:
-        index = self._service_index
-        if index >= len(self._service_buffer):
-            self._service_buffer = self.service_model.sample_many(self.rng, 8192)
-            index = 0
-        self._service_index = index + 1
-        return float(self._service_buffer[index])
-
     def _start_service(self, packet: Packet) -> None:
         self._busy += 1
-        service = self._next_service_time()
+        service = self._service.next()
         wait = self.sim.now - packet.arrived_fabric_at
         self.sim.schedule(service, self._complete, packet, wait, service)
 
@@ -205,7 +195,7 @@ class _OutputPort:
             del flows[flow]
         self.busy = True
         switch = self.switch
-        service = packet.size / switch.port_bandwidth + switch._next_overhead()
+        service = packet.size / switch.port_bandwidth + switch._overhead.next()
         wait = switch.sim.now - packet.arrived_fabric_at
         switch.sim.schedule(service, self._complete, packet, wait, service)
 
@@ -257,17 +247,7 @@ class OutputQueuedSwitch(_SwitchBase):
         self.overhead_model = overhead_model
         self.rng = rng
         self._ports: Dict[Hashable, _OutputPort] = {}
-        self._overhead_buffer = overhead_model.sample_many(rng, 1)
-        self._overhead_index = 1
-
-    # ------------------------------------------------------------------
-    def _next_overhead(self) -> float:
-        index = self._overhead_index
-        if index >= len(self._overhead_buffer):
-            self._overhead_buffer = self.overhead_model.sample_many(self.rng, 8192)
-            index = 0
-        self._overhead_index = index + 1
-        return float(self._overhead_buffer[index])
+        self._overhead = SampleStream(overhead_model, rng)
 
     def _output_key(self, packet: Packet) -> Hashable:
         route = packet.route

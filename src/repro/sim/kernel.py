@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .events import AllOf, AnyOf, SimEvent
@@ -70,6 +70,7 @@ class Simulator:
         self._sequence = 0
         self._events_executed = 0
         self._running = False
+        self._counter_probes: Dict[str, Callable[[], float]] = {}
 
     # ------------------------------------------------------------------
     # Time & introspection
@@ -88,6 +89,35 @@ class Simulator:
     def pending(self) -> int:
         """Number of scheduled (possibly cancelled) entries in the heap."""
         return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def register_counter(self, name: str, probe: Callable[[], float]) -> None:
+        """Register a named zero-argument counter probe.
+
+        Components (NICs, switches, the message layer) expose their internal
+        tallies through probes that are *pulled* on demand — the hot path
+        pays nothing for instrumentation.  Re-registering a name replaces
+        its probe.
+        """
+        self._counter_probes[name] = probe
+
+    def counters(self) -> Dict[str, float]:
+        """A snapshot of every registered counter plus the kernel's own.
+
+        Keys are ``component.metric`` strings (``kernel.events``,
+        ``switch0.served``, ...).  Values are plain numbers, JSON-safe by
+        construction, so the snapshot can ride along in a
+        :class:`~repro.core.experiments.runner.RunResult`.
+        """
+        snapshot: Dict[str, float] = {
+            "kernel.events": float(self._events_executed),
+            "kernel.pending": float(len(self._heap)),
+        }
+        for name, probe in self._counter_probes.items():
+            snapshot[name] = float(probe())
+        return snapshot
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -196,7 +226,10 @@ class Simulator:
                 executed += 1
                 self._events_executed += 1
                 fn(*args)
-            if until is not math.inf and until > self._now:
+            # math.isinf, not an identity check: a caller's float("inf") is
+            # equal to math.inf but not the same object, and the clock must
+            # never be advanced to infinity when the heap drains.
+            if not math.isinf(until) and until > self._now:
                 self._now = until
         finally:
             self._running = False

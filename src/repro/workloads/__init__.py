@@ -10,9 +10,12 @@ from .patterns import (
     torus_neighbors,
 )
 from .probes import CompressionB, CompressionConfig, ImpactB
+from .traffic import TrafficSummary, packets_of
 
 __all__ = [
     "Workload",
+    "TrafficSummary",
+    "packets_of",
     "looped",
     "half_core_placement",
     "cubic_rank_count",

@@ -18,11 +18,19 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from ...config import MachineConfig
 from ...errors import ConfigurationError
 from ...mpi import RankContext
 from ...units import KB, MS
 from ..base import Workload
 from ..patterns import balanced_grid, torus_neighbors
+from ..traffic import (
+    TrafficSummary,
+    allreduce_phases,
+    half_core_layout,
+    internode_fraction,
+    packets_of,
+)
 
 __all__ = ["AMG"]
 
@@ -84,3 +92,24 @@ class AMG(Workload):
             yield from ctx.comm.waitall(requests)
             yield from ctx.comm.allreduce(None, nbytes=8)
         return None
+
+    def traffic(self, config: MachineConfig) -> TrafficSummary:
+        ranks, ranks_per_node = half_core_layout(config)
+        neighbors = len(torus_neighbors(0, balanced_grid(ranks, dims=3)))
+        inter = internode_fraction(ranks, ranks_per_node)
+        phases = allreduce_phases(ranks)
+        mtu = config.network.mtu
+        sparse_messages = self.sparse_iterations * neighbors
+        return TrafficSummary(
+            ranks=ranks,
+            rounds=self.cycles,
+            compute=self.dense_compute + self.sparse_iterations * 100e-6,
+            packets=(ranks * sparse_messages * packets_of(self.sparse_message_bytes, mtu)
+                     + 2.0 * max(0, ranks - 1)) * inter,
+            bytes=(ranks * sparse_messages * self.sparse_message_bytes
+                   + 2.0 * max(0, ranks - 1) * 8) * inter,
+            blocking_bytes=sparse_messages * self.sparse_message_bytes,
+            # Sparse sends overlap compute; one drain wait plus the
+            # convergence allreduce per cycle.
+            blocking_latencies=1.0 + phases,
+        )

@@ -19,6 +19,7 @@ from ...mpi import RankContext
 from ...units import KB, MS
 from ..base import Workload, cubic_rank_count
 from ..patterns import balanced_grid, halo_exchange, torus_neighbors
+from ..traffic import TrafficSummary, allreduce_phases, internode_fraction, packets_of
 
 __all__ = ["Lulesh"]
 
@@ -71,3 +72,24 @@ class Lulesh(Workload):
             # Courant/hydro timestep constraint: one global min-reduction.
             yield from ctx.comm.allreduce(None, nbytes=8)
         return None
+
+    def traffic(self, config: MachineConfig) -> TrafficSummary:
+        k, ranks_per_socket, node_count = cubic_rank_count(config)
+        ranks = k**3
+        ranks_per_node = ranks_per_socket * config.node.sockets
+        neighbors = len(torus_neighbors(0, balanced_grid(ranks, dims=3)))
+        inter = internode_fraction(ranks, ranks_per_node)
+        phases = allreduce_phases(ranks)
+        mtu = config.network.mtu
+        return TrafficSummary(
+            ranks=ranks,
+            rounds=self.iterations,
+            compute=self.compute_per_iter,
+            packets=(ranks * neighbors * packets_of(self.face_bytes, mtu)
+                     + 2.0 * max(0, ranks - 1)) * inter,
+            bytes=(ranks * neighbors * self.face_bytes + 2.0 * max(0, ranks - 1) * 8) * inter,
+            blocking_bytes=neighbors * self.face_bytes,
+            # Concurrent halo exchange ≈ two traversals (post, drain), plus
+            # the latency-bound allreduce phases.
+            blocking_latencies=2.0 + phases,
+        )

@@ -12,10 +12,18 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from ...config import MachineConfig
 from ...errors import ConfigurationError
 from ...mpi import RankContext
 from ...units import KB, MS
 from ..base import Workload
+from ..traffic import (
+    TrafficSummary,
+    allreduce_phases,
+    half_core_layout,
+    internode_fraction,
+    packets_of,
+)
 
 __all__ = ["MCB"]
 
@@ -75,3 +83,21 @@ class MCB(Workload):
                 # Global particle census / tally reduction.
                 yield from ctx.comm.allreduce(None, nbytes=64)
         return None
+
+    def traffic(self, config: MachineConfig) -> TrafficSummary:
+        ranks, ranks_per_node = half_core_layout(config)
+        inter = internode_fraction(ranks, ranks_per_node)
+        phases = allreduce_phases(ranks)
+        mtu = config.network.mtu
+        census_rate = 1.0 / self.census_every
+        return TrafficSummary(
+            ranks=ranks,
+            rounds=self.iterations,
+            compute=self.track_compute,
+            packets=(ranks * packets_of(self.migration_bytes, mtu)
+                     + census_rate * 2.0 * max(0, ranks - 1)) * inter,
+            bytes=(ranks * self.migration_bytes
+                   + census_rate * 2.0 * max(0, ranks - 1) * 64) * inter,
+            blocking_bytes=self.migration_bytes,
+            blocking_latencies=1.0 + census_rate * phases,
+        )

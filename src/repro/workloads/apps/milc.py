@@ -13,11 +13,19 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from ...config import MachineConfig
 from ...errors import ConfigurationError
 from ...mpi import RankContext
 from ...units import KB, MS
 from ..base import Workload
 from ..patterns import balanced_grid, halo_exchange, torus_neighbors
+from ..traffic import (
+    TrafficSummary,
+    allreduce_phases,
+    half_core_layout,
+    internode_fraction,
+    packets_of,
+)
 
 __all__ = ["MILC"]
 
@@ -61,3 +69,22 @@ class MILC(Workload):
             yield from ctx.comm.allreduce(None, nbytes=8)
             yield from ctx.comm.allreduce(None, nbytes=8)
         return None
+
+    def traffic(self, config: MachineConfig) -> TrafficSummary:
+        ranks, ranks_per_node = half_core_layout(config)
+        neighbors = len(torus_neighbors(0, balanced_grid(ranks, dims=4)))
+        inter = internode_fraction(ranks, ranks_per_node)
+        phases = allreduce_phases(ranks)
+        mtu = config.network.mtu
+        return TrafficSummary(
+            ranks=ranks,
+            rounds=self.iterations,
+            compute=self.compute_per_iter,
+            packets=(ranks * neighbors * packets_of(self.halo_bytes, mtu)
+                     + 2.0 * 2.0 * max(0, ranks - 1)) * inter,
+            bytes=(ranks * neighbors * self.halo_bytes
+                   + 2.0 * 2.0 * max(0, ranks - 1) * 8) * inter,
+            blocking_bytes=neighbors * self.halo_bytes,
+            # Halo post/drain plus two latency-critical CG dot products.
+            blocking_latencies=2.0 + 2.0 * phases,
+        )

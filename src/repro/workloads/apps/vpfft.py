@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from ...config import MachineConfig
 from ...errors import ConfigurationError
 from ...mpi import RankContext
 from ...units import MS
 from ..base import Workload
+from ..traffic import TrafficSummary, half_core_layout, packets_of
 
 __all__ = ["VPFFT"]
 
@@ -58,3 +60,17 @@ class VPFFT(Workload):
             yield from ctx.compute(self.stress_compute, self.jitter)
             yield from ctx.comm.alltoall(None, self.bytes_per_pair)
         return None
+
+    def traffic(self, config: MachineConfig) -> TrafficSummary:
+        ranks, ranks_per_node = half_core_layout(config)
+        inter_peers = max(0, ranks - ranks_per_node)
+        # Same alltoall shape as FFTW, but with heavy compute between phases.
+        return TrafficSummary(
+            ranks=ranks,
+            rounds=self.iterations,
+            compute=2.0 * self.stress_compute,
+            packets=2.0 * ranks * inter_peers * packets_of(self.bytes_per_pair, config.network.mtu),
+            bytes=2.0 * ranks * inter_peers * self.bytes_per_pair,
+            blocking_bytes=2.0 * max(0, ranks - 1) * self.bytes_per_pair,
+            blocking_latencies=2.0 * max(0, ranks - 1),
+        )

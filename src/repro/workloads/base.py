@@ -10,12 +10,15 @@ many machines — so they are cheap to construct and safe to share.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..cluster import PerSocketPlacement, Placement
 from ..config import MachineConfig
-from ..errors import ConfigurationError
+from ..errors import AnalyticModelError, ConfigurationError
 from ..mpi import RankContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .traffic import TrafficSummary
 
 __all__ = ["Workload", "looped", "half_core_placement", "cubic_rank_count"]
 
@@ -33,6 +36,18 @@ class Workload(ABC):
     def preferred_placement(self, config: MachineConfig) -> Placement:
         """Default placement on a machine (paper: half the cores per socket)."""
         return half_core_placement(config)
+
+    def traffic(self, config: MachineConfig) -> "TrafficSummary":
+        """Per-round offered-load summary for the analytic engine.
+
+        Workloads that support the closed-form M/G/1 backend override this;
+        the default refuses loudly so the analytic engine never invents load
+        figures for a workload it does not understand.
+        """
+        raise AnalyticModelError(
+            f"workload {self.name!r} has no analytic traffic summary; "
+            "run it on the simulation engine instead"
+        )
 
     def __call__(self, ctx: RankContext) -> Generator[Any, Any, Any]:
         return self.build(ctx)

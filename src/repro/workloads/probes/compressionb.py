@@ -29,6 +29,7 @@ from ...errors import ConfigurationError
 from ...mpi import RankContext, Request
 from ...units import KB, US
 from ..base import Workload
+from ..traffic import TrafficSummary, packets_of, per_socket_layout
 
 __all__ = ["CompressionConfig", "CompressionB"]
 
@@ -102,6 +103,24 @@ class CompressionB(Workload):
     def preferred_placement(self, config: MachineConfig) -> Placement:
         """One interference process per socket (2 per node on Cab)."""
         return PerSocketPlacement(1)
+
+    def traffic(self, config: MachineConfig) -> TrafficSummary:
+        ranks, _ = per_socket_layout(config, 1)
+        # Rings run across nodes (same local index on every node), so every
+        # exchange is inter-node; partners cap at ring length - 1.
+        ring_length = config.node_count
+        partners = min(self.config.partners, max(0, ring_length - 1))
+        messages = ranks * partners * self.config.messages
+        return TrafficSummary(
+            ranks=ranks,
+            rounds=1,
+            compute=partners * self.config.messages * self.post_overhead,
+            packets=messages * packets_of(self.config.message_bytes, config.network.mtu),
+            bytes=messages * self.config.message_bytes,
+            blocking_bytes=partners * self.config.messages * self.config.message_bytes,
+            blocking_latencies=1.0,
+            period=self.config.sleep_cycles / config.node.clock_hz,
+        )
 
     # ------------------------------------------------------------------
     def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:

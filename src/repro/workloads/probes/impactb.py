@@ -24,6 +24,7 @@ from ...errors import ConfigurationError
 from ...mpi import RankContext
 from ...units import KB, MS
 from ..base import Workload
+from ..traffic import TrafficSummary, packets_of, per_socket_layout
 
 __all__ = ["ImpactB"]
 
@@ -67,6 +68,22 @@ class ImpactB(Workload):
     def preferred_placement(self, config: MachineConfig) -> Placement:
         """One probe process per socket (2 per node on Cab)."""
         return PerSocketPlacement(1)
+
+    def traffic(self, config: MachineConfig) -> TrafficSummary:
+        ranks, _ = per_socket_layout(config, 1)
+        # floor(nodes/2) node pairs, each with `sockets` probe rings; every
+        # round-trip is two switch-traversing packets.
+        pairs = (config.node_count // 2) * config.node.sockets
+        return TrafficSummary(
+            ranks=ranks,
+            rounds=1,
+            compute=0.0,
+            packets=2.0 * pairs * packets_of(self.message_bytes, config.network.mtu),
+            bytes=2.0 * pairs * self.message_bytes,
+            blocking_bytes=self.message_bytes,
+            blocking_latencies=2.0,
+            period=self.interval,
+        )
 
     # ------------------------------------------------------------------
     def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:

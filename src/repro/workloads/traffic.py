@@ -1,0 +1,123 @@
+"""Offered-load summaries: what a workload puts on the switch per round.
+
+The analytic experiment engine (:mod:`repro.engine.analytic`) answers
+experiment descriptors from closed-form M/G/1 math instead of event-by-event
+simulation.  To do that it needs, for every workload, a coarse description
+of one *round* of the workload's steady-state behaviour: how much critical-
+path compute a rank performs, how many switch-traversing packets and bytes
+the whole job injects, and how much of the network's latency/serialization
+sits on a rank's critical path.  A :class:`TrafficSummary` captures exactly
+that, derived from the same skeleton parameters that drive the simulated
+coroutines — the two views cannot drift apart without someone editing both.
+
+Summaries are deliberately first-order: collective algorithms are reduced to
+phase counts and byte totals, jitter is ignored, and per-rank asymmetry is
+averaged away.  That is the right fidelity for a fast-path backend whose
+contract is "plausible, monotone, and self-consistent", not "bit-identical
+to the simulator".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import MachineConfig
+
+__all__ = [
+    "TrafficSummary",
+    "packets_of",
+    "internode_fraction",
+    "allreduce_phases",
+    "half_core_layout",
+    "per_socket_layout",
+]
+
+
+def packets_of(nbytes: int, mtu: int) -> int:
+    """Packets one message of ``nbytes`` occupies on the wire (≥ 1)."""
+    if mtu <= 0:
+        raise ConfigurationError(f"mtu must be positive, got {mtu}")
+    return max(1, math.ceil(nbytes / mtu))
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """One workload's per-round offered load and critical-path structure.
+
+    A *round* is the workload's natural repeating unit (one solver
+    iteration, one CompressionB exchange+sleep cycle, one probe ping-pong).
+    Finite workloads declare how many rounds one execution performs;
+    daemon-style workloads (probes, interference generators) use ``rounds=1``
+    and are treated as repeating forever.
+
+    Attributes:
+        ranks: total ranks the workload's preferred placement produces.
+        rounds: rounds in one finite execution (1 for endless workloads).
+        compute: per-rank critical-path compute seconds per round.
+        packets: switch-traversing packets injected per round, all ranks.
+        bytes: switch-traversing bytes injected per round, all ranks.
+        blocking_bytes: per-rank bytes whose wire serialization sits on the
+            critical path each round (a rank's own blocking sends).
+        blocking_latencies: per-rank count of one-way network traversals on
+            the critical path each round (recv waits, collective phases).
+        period: additional per-round pacing delay (sleeps), seconds.
+    """
+
+    ranks: int
+    rounds: int
+    compute: float
+    packets: float
+    bytes: float
+    blocking_bytes: float
+    blocking_latencies: float
+    period: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise ConfigurationError(f"ranks must be >= 1, got {self.ranks}")
+        if self.rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {self.rounds}")
+        for name in ("compute", "packets", "bytes", "blocking_bytes",
+                     "blocking_latencies", "period"):
+            value = getattr(self, name)
+            if value < 0 or not math.isfinite(value):
+                raise ConfigurationError(
+                    f"{name} must be non-negative and finite, got {value}"
+                )
+
+
+def half_core_layout(config: "MachineConfig") -> Tuple[int, int]:
+    """(total ranks, ranks per node) of the default application placement
+    (half of each socket's cores on every node)."""
+    per_socket = max(1, config.node.cores_per_socket // 2)
+    ranks_per_node = per_socket * config.node.sockets
+    return ranks_per_node * config.node_count, ranks_per_node
+
+
+def per_socket_layout(config: "MachineConfig", ranks_per_socket: int = 1) -> Tuple[int, int]:
+    """(total ranks, ranks per node) of a probe-style per-socket placement."""
+    ranks_per_node = ranks_per_socket * config.node.sockets
+    return ranks_per_node * config.node_count, ranks_per_node
+
+
+def internode_fraction(ranks: int, ranks_per_node: int) -> float:
+    """Fraction of a rank's uniformly-chosen peers living on other nodes.
+
+    Intra-node messages take the shared-memory path and never touch the
+    switch; summaries scale their message counts by this factor.
+    """
+    if ranks <= 1:
+        return 0.0
+    return (ranks - min(ranks_per_node, ranks)) / (ranks - 1)
+
+
+def allreduce_phases(ranks: int) -> int:
+    """One-way latency phases of a binomial-tree reduce+bcast allreduce."""
+    if ranks <= 1:
+        return 0
+    return 2 * math.ceil(math.log2(ranks))

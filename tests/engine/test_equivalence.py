@@ -1,0 +1,111 @@
+"""Analytic vs simulation agreement on a small calibrated machine.
+
+The analytic engine is only useful if, inside its validity range, it lands
+close to the discrete-event reference.  These tests run the two engines on
+identical descriptors (small machine, low and medium utilization) and bound
+the disagreement; they also pin the cache-namespace guarantee that lets the
+two engines share one cache directory.
+"""
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.core.experiments.cache import group_of
+from repro.units import MS
+from repro.workloads import FFTW, CompressionConfig
+
+
+def _pipeline(engine, cache_path):
+    return ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick",
+            seed=0,
+            impact_duration=0.01,
+            signature_duration=0.01,
+            calibration_duration=0.02,
+            probe_interval=0.1 * MS,
+            engine=engine,
+        ),
+        machine_config=small_test_config(seed=0),
+        applications={"fftw": FFTW(iterations=1, pack_compute=5e-5)},
+        catalog=[CompressionConfig(1, 1, 2.5e6)],
+        cache_path=cache_path,
+    )
+
+
+@pytest.fixture(scope="module")
+def sim(tmp_path_factory):
+    return _pipeline("sim", tmp_path_factory.mktemp("sim-cache"))
+
+
+@pytest.fixture(scope="module")
+def analytic(tmp_path_factory):
+    return _pipeline("analytic", tmp_path_factory.mktemp("analytic-cache"))
+
+
+def test_idle_probe_latency_agrees(sim, analytic):
+    # Low utilization: the probes' mean one-way latency on an otherwise
+    # idle switch is dominated by deterministic path terms — the engines
+    # must agree closely.
+    assert analytic.calibration().mean == pytest.approx(
+        sim.calibration().mean, rel=0.05
+    )
+    assert analytic.idle_signature().mean == pytest.approx(
+        sim.idle_signature().mean, rel=0.05
+    )
+
+
+def test_medium_utilization_impact_agrees(sim, analytic):
+    # Medium utilization (~10% with this FFTW on the 4-node machine): the
+    # engines must agree on the driven utilization and on the congested
+    # probe latency within queueing-model tolerance.
+    sim_impact = sim.app_impact("fftw")
+    ana_impact = analytic.app_impact("fftw")
+    assert 0.03 < sim_impact.true_utilization < 0.5, "not a medium-load case"
+    assert ana_impact.true_utilization == pytest.approx(
+        sim_impact.true_utilization, abs=0.05
+    )
+    assert ana_impact.signature.mean == pytest.approx(
+        sim_impact.signature.mean, rel=0.25
+    )
+
+
+def test_baseline_runtime_agrees(sim, analytic):
+    assert analytic.app_baseline("fftw") == pytest.approx(
+        sim.app_baseline("fftw"), rel=0.10
+    )
+
+
+def test_engines_never_share_cache_keys(sim, analytic):
+    sim_keys = set(sim.product_keys())
+    analytic_keys = set(analytic.product_keys())
+    assert not sim_keys & analytic_keys
+    assert all(key.startswith("analytic:") for key in analytic_keys)
+
+
+def test_engines_never_share_cache_shards(sim, analytic):
+    # Shard filenames derive from the key's first segment; the engine
+    # qualifier lands analytic products in analytic_* shards, disjoint
+    # from the sim's.
+    sim_groups = {group_of(key) for key in sim.product_keys()}
+    analytic_groups = {group_of(key) for key in analytic.product_keys()}
+    assert not sim_groups & analytic_groups
+    assert all(group.startswith("analytic_") for group in analytic_groups)
+
+
+def test_shared_cache_directory_keeps_engines_apart(tmp_path):
+    # Run the whole analytic campaign into a directory, then open it with
+    # a sim pipeline: every sim product must still be pending (nothing
+    # leaked across the namespace), and vice versa the analytic pipeline
+    # must see its own products as complete.
+    shared = tmp_path / "shared-cache"
+    analytic = _pipeline("analytic", shared)
+    analytic.ensure_all(workers=1)
+    assert analytic.pending_keys() == []
+
+    sim = _pipeline("sim", shared)
+    assert sim.pending_keys() == sim.product_keys()
+
+    reopened = _pipeline("analytic", shared)
+    assert reopened.pending_keys() == []

@@ -1,0 +1,65 @@
+"""Tests for the shared batched sample stream."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import DeterministicService, SampleStream
+from repro.network.service_time import LognormalService
+from repro.sim import RandomStreams
+
+
+def test_yields_model_draws_in_order():
+    stream = SampleStream(
+        LognormalService(mean=1.0, sigma=0.5), RandomStreams(7).stream("svc"),
+        batch=16,
+    )
+    # Replicate the exact RNG consumption: one discarded priming draw,
+    # then refills of `batch`.
+    rng = RandomStreams(7).stream("svc")
+    model = LognormalService(mean=1.0, sigma=0.5)
+    model.sample_many(rng, 1)  # the priming draw
+    expected = list(model.sample_many(rng, 16)) + list(model.sample_many(rng, 16))
+    got = [stream.next() for _ in range(32)]
+    assert got == pytest.approx(expected)
+
+
+def test_priming_draw_is_discarded_not_returned():
+    rng = RandomStreams(3).stream("svc")
+    model = LognormalService(mean=2.0, sigma=0.3)
+    primed = model.sample_many(RandomStreams(3).stream("svc"), 1)[0]
+    stream = SampleStream(model, rng, batch=4)
+    first = stream.next()
+    # The first *returned* value is the first draw of the first refill
+    # batch, not the construction-time priming draw.
+    assert first != pytest.approx(primed)
+
+
+def test_deterministic_service_stream_is_constant():
+    stream = SampleStream(
+        DeterministicService(0.25), RandomStreams(0).stream("svc"), batch=8
+    )
+    assert [stream.next() for _ in range(20)] == [0.25] * 20
+
+
+def test_callable_alias():
+    stream = SampleStream(
+        DeterministicService(1.5), RandomStreams(0).stream("svc")
+    )
+    assert stream() == 1.5
+
+
+def test_returns_python_floats():
+    stream = SampleStream(
+        LognormalService(mean=1.0, sigma=0.2), RandomStreams(1).stream("svc")
+    )
+    value = stream.next()
+    assert type(value) is float
+    assert np.isfinite(value)
+
+
+def test_batch_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        SampleStream(
+            DeterministicService(1.0), RandomStreams(0).stream("svc"), batch=0
+        )

@@ -90,6 +90,23 @@ def test_run_until_advances_clock_even_with_empty_heap():
     assert sim.now == 3.0
 
 
+def test_run_with_caller_constructed_infinity_leaves_clock_finite():
+    # Regression: the drain check used an identity test (`until is not
+    # math.inf`), which a caller's float("inf") — equal but a distinct
+    # object — slipped past, advancing the clock to infinity.
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=float("inf"))
+    assert sim.now == 1.0
+    assert not math.isinf(sim.now)
+
+
+def test_run_with_empty_heap_and_infinite_until_keeps_clock():
+    sim = Simulator(start_time=2.0)
+    sim.run(until=float("inf"))
+    assert sim.now == 2.0
+
+
 def test_callbacks_scheduled_during_run_execute():
     sim = Simulator()
     hits = []
