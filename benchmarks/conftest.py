@@ -23,6 +23,12 @@ processes up front (``ensure_all``) instead of computing products lazily.
 Pre-sharding monolithic caches (``results/paper_cache.json`` /
 ``results/quick_cache.json``) are migrated into the sharded directories
 automatically.
+
+Fault-tolerance knobs (mirroring the CLI's): ``REPRO_BENCH_MAX_ATTEMPTS``
+(attempts per experiment, default 2), ``REPRO_BENCH_TASK_TIMEOUT`` (seconds
+before a hung task's worker is killed, default none), and
+``REPRO_BENCH_FAILURE_BUDGET`` (permanent failures tolerated before the
+campaign raises, default 0).
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.parallel import RetryPolicy
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 PAPER_CACHE = REPO_ROOT / "results" / "cache"
@@ -68,8 +75,18 @@ def pipeline() -> ReproductionPipeline:
             engine=engine,
         )
         cache, legacy = QUICK_CACHE, LEGACY_QUICK_CACHE
+    timeout = os.environ.get("REPRO_BENCH_TASK_TIMEOUT")
+    retry = RetryPolicy(
+        max_attempts=int(os.environ.get("REPRO_BENCH_MAX_ATTEMPTS", "2")),
+        timeout=float(timeout) if timeout else None,
+    )
     pipeline = ReproductionPipeline(
-        settings=settings, cache_path=cache, legacy_cache=legacy, verbose=True
+        settings=settings,
+        cache_path=cache,
+        legacy_cache=legacy,
+        retry=retry,
+        failure_budget=int(os.environ.get("REPRO_BENCH_FAILURE_BUDGET", "0")),
+        verbose=True,
     )
     workers = os.environ.get("REPRO_BENCH_WORKERS")
     if workers:

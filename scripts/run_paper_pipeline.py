@@ -3,23 +3,32 @@
 Usage: python scripts/run_paper_pipeline.py [--cache results/cache]
            [--legacy-cache results/paper_cache.json] [--profile paper|quick]
            [--engine sim|analytic] [--workers N] [--chunksize N]
+           [--max-attempts N] [--task-timeout S] [--retry-backoff S]
+           [--failure-budget N]
 
 Roughly 330 deterministic experiment runs, fanned out over a process pool.
-Each product group is flushed atomically to its own shard as results land,
-so an interrupted campaign resumes from completed shards; a pre-sharding
-monolithic cache is migrated automatically on first load.  With
-``--engine analytic`` the same campaign is answered from closed-form M/G/1
-math in seconds (separate cache namespace; fails loudly near saturation).
+Each product group is flushed atomically to its own checksummed shard as
+results land, so an interrupted campaign resumes from completed shards;
+corrupt shards are quarantined and recomputed; a pre-sharding monolithic
+cache is migrated automatically on first load.  Failing experiments are
+retried with backoff (``--max-attempts``), hung ones are killed after
+``--task-timeout`` seconds, and up to ``--failure-budget`` permanent
+failures leave holes plus a ``failure_report.json`` instead of aborting.
+With ``--engine analytic`` the same campaign is answered from closed-form
+M/G/1 math in seconds (separate cache namespace; fails loudly near
+saturation).
 """
 
 import argparse
+import sys
 import time
 
 from repro.analysis import summarize_errors
 from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.parallel import RetryPolicy
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--cache",
@@ -44,10 +53,34 @@ def main() -> None:
         "--workers",
         type=int,
         default=None,
-        help="process count (default: all cores but one)",
+        help="process count (default: all usable cores but one)",
     )
     parser.add_argument(
         "--chunksize", type=int, default=1, help="experiments per pool submission"
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        help="attempts per experiment before it becomes a recorded hole",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-experiment wall-clock budget in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        help="base seconds of (jittered, exponential) backoff between attempts",
+    )
+    parser.add_argument(
+        "--failure-budget",
+        type=int,
+        default=0,
+        help="permanent failures tolerated before the campaign errors out",
     )
     args = parser.parse_args()
 
@@ -60,22 +93,36 @@ def main() -> None:
         legacy_cache=args.legacy_cache,
         workers=args.workers,
         chunksize=args.chunksize,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts,
+            timeout=args.task_timeout,
+            backoff_base=args.retry_backoff,
+        ),
+        failure_budget=args.failure_budget,
         verbose=True,
     )
     stats = pipeline.ensure_all()
-    errors = pipeline.prediction_errors()
     print(
-        f"done in {time.time() - start:.0f}s "
+        f"campaign in {time.time() - start:.0f}s "
         f"({stats['executed']} executed, {stats['cached']} cached, "
-        f"{stats['workers']} worker(s)); cache at {pipeline.cache_path}"
+        f"{stats['failed']} failed, {stats['workers']} worker(s)); "
+        f"cache at {pipeline.cache_path}"
     )
+    if stats["failed"]:
+        print(
+            f"warning: {stats['failed']} hole(s) within the failure budget; "
+            f"report at {stats['failure_report']} — skipping model summaries"
+        )
+        return 2
+    errors = pipeline.prediction_errors()
     for model, table in errors.items():
         summary = summarize_errors(list(table.values()))
         print(
             f"  {model:16s} median |error| = {summary.median:.1f}%  "
             f"(IQR {summary.q1:.1f}–{summary.q3:.1f}%)"
         )
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

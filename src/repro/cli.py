@@ -28,6 +28,7 @@ from .analysis import (
     summarize_errors,
 )
 from .core.experiments import PipelineSettings, ReproductionPipeline
+from .parallel import RetryPolicy
 
 __all__ = ["main", "build_parser"]
 
@@ -40,6 +41,10 @@ _COMMON_DEFAULTS = {
     "legacy_cache": "results/paper_cache.json",
     "workers": None,
     "chunksize": 1,
+    "max_attempts": 2,
+    "task_timeout": None,
+    "retry_backoff": 0.1,
+    "failure_budget": 0,
 }
 
 
@@ -93,6 +98,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=argparse.SUPPRESS,
         help="experiments per pool task submission",
+    )
+    common.add_argument(
+        "--max-attempts",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="attempts per experiment before it becomes a recorded hole "
+        "(default 2 = retry once)",
+    )
+    common.add_argument(
+        "--task-timeout",
+        type=float,
+        default=argparse.SUPPRESS,
+        help="per-experiment wall-clock budget in seconds; a hung task's "
+        "worker is killed and the task retried (default: no timeout)",
+    )
+    common.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=argparse.SUPPRESS,
+        help="base seconds of exponential backoff between attempts "
+        "(deterministically jittered; default 0.1)",
+    )
+    common.add_argument(
+        "--failure-budget",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="how many experiments may fail permanently before the campaign "
+        "errors out; failures within budget leave holes plus a "
+        "failure_report.json next to the shards (default 0)",
     )
 
     parser = argparse.ArgumentParser(
@@ -150,6 +184,12 @@ def _pipeline(args: argparse.Namespace) -> ReproductionPipeline:
         legacy_cache=args.legacy_cache,
         workers=args.workers,
         chunksize=args.chunksize,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts,
+            timeout=args.task_timeout,
+            backoff_base=args.retry_backoff,
+        ),
+        failure_budget=args.failure_budget,
         verbose=True,
     )
 
@@ -219,10 +259,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stats = pipeline.ensure_all()
         print(
             f"campaign done: {stats['executed']} executed, "
-            f"{stats['cached']} cached, {stats['total']} total products "
+            f"{stats['cached']} cached, {stats['failed']} failed, "
+            f"{stats['total']} total products "
             f"in {stats['elapsed']:.1f}s with {stats['workers']} worker(s); "
             f"cache at {pipeline.cache_path}"
         )
+        if stats["failed"]:
+            print(
+                f"warning: campaign finished with {stats['failed']} hole(s); "
+                f"see {stats['failure_report']}"
+            )
+            return 2
     elif args.command == "calibrate":
         estimate = pipeline.calibration()
         print(

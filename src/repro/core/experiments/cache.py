@@ -1,4 +1,4 @@
-"""Crash-safe sharded experiment cache.
+"""Crash-safe, integrity-checked sharded experiment cache.
 
 Campaign products are grouped by the first segment of their cache key
 (``degradation/fftw/P1M1B2.5e6`` → group ``degradation``); each group lives
@@ -7,14 +7,25 @@ in its own JSON shard ``<directory>/<group>.json``, rewritten atomically
 interrupted campaign therefore keeps every shard that finished a write;
 re-running recomputes only the missing products.
 
+The cache trusts nothing it reads back.  Shards are written with a SHA-256
+checksum over their canonical payload; on load, a shard that is truncated,
+unparseable, or fails its checksum is **quarantined** — renamed aside to
+``<group>.json.corrupt`` (never silently deleted, never raised as a raw
+``JSONDecodeError``) — and its keys simply become pending again, so the next
+campaign recomputes exactly the quarantined products.  Stale ``*.tmp`` files
+leaked by a crash between ``mkstemp`` and ``os.replace`` are swept on load.
+
 A legacy monolithic cache (the old single ``paper_cache.json``) migrates on
 first load: keys absent from the shards are imported and their shards
-written out immediately.  The legacy file itself is left untouched so the
-migration is safe to interrupt and re-run.
+written out immediately.  Pre-checksum shards (a bare JSON object of
+products) load as-is and are upgraded to the checksummed format on their
+next write.  The legacy file itself is left untouched so the migration is
+safe to interrupt and re-run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -22,14 +33,27 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set
 
-__all__ = ["ShardedCache", "group_of"]
+from ...faults import active_fault_plan
+
+__all__ = ["ShardedCache", "group_of", "SHARD_FORMAT"]
 
 _SAFE_GROUP = re.compile(r"[^A-Za-z0-9_.-]")
+
+#: Current on-disk shard format version.
+SHARD_FORMAT = 2
+
+#: Files inside the cache directory that are not shards (never loaded,
+#: never quarantined).
+RESERVED_FILES = frozenset({"failure_report.json"})
 
 
 def group_of(key: str) -> str:
     """Shard group of a cache key: its first ``/``-separated segment."""
     return _SAFE_GROUP.sub("_", key.split("/", 1)[0])
+
+
+def _checksum(payload_text: str) -> str:
+    return hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
 
 
 class ShardedCache:
@@ -40,6 +64,10 @@ class ShardedCache:
             makes the cache memory-only — lookups and stores work, flushing
             is a no-op.
         legacy_path: optional monolithic JSON cache to migrate from on load.
+
+    Attributes:
+        quarantined: shard files set aside by the last load because they
+            were corrupt or truncated (empty on a healthy cache).
     """
 
     def __init__(
@@ -51,22 +79,91 @@ class ShardedCache:
         self.legacy_path = Path(legacy_path) if legacy_path is not None else None
         self._data: Dict[str, object] = {}
         self._dirty: Set[str] = set()
+        self.quarantined: List[Path] = []
         self._load()
 
     # ------------------------------------------------------------------
-    # Loading & migration
+    # Loading, integrity checking & migration
     # ------------------------------------------------------------------
     def _load(self) -> None:
         if self.directory is not None and self.directory.is_dir():
+            self._sweep_stale_temp_files()
             for shard in sorted(self.directory.glob("*.json")):
-                self._data.update(json.loads(shard.read_text()))
+                if shard.name in RESERVED_FILES:
+                    continue
+                products = self._read_shard(shard)
+                if products is None:
+                    self.quarantined.append(self._quarantine(shard))
+                else:
+                    self._data.update(products)
         if self.legacy_path is not None and self.legacy_path.is_file():
-            legacy: Dict[str, object] = json.loads(self.legacy_path.read_text())
+            legacy = self._read_legacy(self.legacy_path)
             fresh = {key: value for key, value in legacy.items() if key not in self._data}
             if fresh:
                 self._data.update(fresh)
                 self._dirty.update(group_of(key) for key in fresh)
                 self.flush()
+
+    def _sweep_stale_temp_files(self) -> None:
+        """Remove ``*.tmp`` orphans left by a crash mid-``_write_shard``.
+
+        An interrupted write never reached ``os.replace``, so the temp file
+        holds at best a duplicate of data that was re-derived anyway; left
+        alone they would accumulate forever.
+        """
+        assert self.directory is not None
+        for stale in self.directory.glob("*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - raced by another process
+                pass
+
+    @staticmethod
+    def _read_shard(path: Path) -> Optional[Dict[str, object]]:
+        """Parse and verify one shard; ``None`` means corrupt (quarantine it).
+
+        Accepts both the checksummed v2 envelope and pre-checksum bare
+        product mappings (format 1).
+        """
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        if "__shard_format__" not in document:
+            return document  # format 1: a bare product mapping, no checksum
+        products = document.get("products")
+        recorded = document.get("sha256")
+        if not isinstance(products, dict) or not isinstance(recorded, str):
+            return None
+        actual = _checksum(json.dumps(products, sort_keys=True))
+        if actual != recorded:
+            return None
+        return products
+
+    def _quarantine(self, shard: Path) -> Path:
+        """Rename a corrupt shard aside so its keys recompute cleanly.
+
+        The payload is preserved (``<name>.corrupt``, numbered on clashes)
+        for post-mortems; only the ``.json`` name is freed so the next flush
+        writes a clean shard.
+        """
+        target = shard.with_name(shard.name + ".corrupt")
+        serial = 1
+        while target.exists():
+            target = shard.with_name(f"{shard.name}.corrupt{serial}")
+            serial += 1
+        os.replace(shard, target)
+        return target
+
+    @staticmethod
+    def _read_legacy(path: Path) -> Dict[str, object]:
+        try:
+            legacy = json.loads(path.read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            return {}
+        return legacy if isinstance(legacy, dict) else {}
 
     # ------------------------------------------------------------------
     # Mapping interface
@@ -120,16 +217,29 @@ class ShardedCache:
         payload = {
             key: value for key, value in self._data.items() if group_of(key) == group
         }
+        payload_text = json.dumps(payload, sort_keys=True)
+        document = {
+            "__shard_format__": SHARD_FORMAT,
+            "sha256": _checksum(payload_text),
+            "products": payload,
+        }
         self.directory.mkdir(parents=True, exist_ok=True)
         handle, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(handle, "w") as stream:
-                json.dump(payload, stream)
+                json.dump(document, stream)
             os.replace(temp_name, self.shard_path(group))
         except BaseException:
             if os.path.exists(temp_name):  # pragma: no cover - cleanup path
                 os.unlink(temp_name)
             raise
+        plan = active_fault_plan()
+        if plan is not None and plan.take_shard_corruption(group):
+            # Injected fault: garble the shard *after* a clean write, exactly
+            # what a torn page / partial disk flush leaves behind.
+            path = self.shard_path(group)
+            raw = path.read_bytes()
+            path.write_bytes(raw[: max(1, len(raw) // 2)])
 
     def shard_path(self, group: str) -> Path:
         """Path of one group's shard file."""

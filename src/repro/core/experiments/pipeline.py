@@ -12,8 +12,10 @@ Reproducing the paper end to end needs ~330 simulation runs:
 Every run is a pure function of ``(settings, machine_config, workload)``, so
 the campaign decomposes into picklable :class:`ExperimentDescriptor` s that
 :meth:`ReproductionPipeline.ensure_all` fans out through
-:func:`repro.parallel.map_experiments` in two dependency stages
-(measurements after calibration, then degradations/co-runs after baselines).
+:func:`repro.parallel.run_tasks` in two dependency stages (measurements
+after calibration, then degradations/co-runs after baselines), under a
+retry/timeout policy that turns permanent failures into structured
+:class:`~repro.errors.FailureRecord` holes instead of a dead campaign.
 
 Products are memoized in memory and, when a cache directory is given, in a
 :class:`~repro.core.experiments.cache.ShardedCache` — one atomic JSON shard
@@ -24,6 +26,7 @@ migrates automatically on first load.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,8 +35,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ...config import MachineConfig
 from ...core.measurement import ProbeSignature
 from ...engine.base import available_engines, get_engine
-from ...errors import ExperimentError
-from ...parallel import default_worker_count, map_experiments
+from ...errors import CampaignError, ExperimentError, FailureRecord
+from ...faults import active_fault_plan, current_attempt
+from ...parallel import RetryPolicy, default_worker_count, run_tasks
 from ...queueing import ServiceEstimate
 from ...units import MS
 from ...workloads import CompressionConfig, Workload
@@ -49,6 +53,10 @@ __all__ = [
     "ExperimentDescriptor",
     "run_experiment",
 ]
+
+#: Name of the machine-readable failure report written into the cache
+#: directory after each campaign (reserved: never loaded as a shard).
+FAILURE_REPORT_NAME = "failure_report.json"
 
 
 @dataclass(frozen=True)
@@ -129,20 +137,16 @@ def run_experiment(descriptor: ExperimentDescriptor) -> object:
     fast path).  Pure for a fixed engine: the product is a function of the
     descriptor alone, so results are identical whether this runs in the
     driver process or a pool worker.
+
+    This is also the fault-injection point of the engine seam: an active
+    :class:`~repro.faults.FaultPlan` naming this descriptor's key fires
+    here, inside whichever process executes the experiment, before the
+    engine runs.
     """
+    plan = active_fault_plan()
+    if plan is not None:
+        plan.on_experiment(descriptor.key, current_attempt())
     return get_engine(descriptor.settings.engine).run(descriptor)
-
-
-def run_experiment_guarded(
-    descriptor: ExperimentDescriptor,
-) -> Tuple[str, object, Optional[str]]:
-    """Worker entry point: never raises, so one bad experiment cannot take
-    the whole pool down.  Returns ``(key, value, error)`` with exactly one
-    of ``value``/``error`` set."""
-    try:
-        return (descriptor.key, run_experiment(descriptor), None)
-    except Exception as exc:
-        return (descriptor.key, None, f"{type(exc).__name__}: {exc}")
 
 
 class _CampaignProgress:
@@ -186,8 +190,15 @@ class ReproductionPipeline:
             the shard directory on load (ignored when ``cache_path`` itself
             is a legacy file).
         workers: default process count for :meth:`ensure_all`
-            (``None`` → all cores but one).
+            (``None`` → all usable cores but one).
         chunksize: default descriptors per pool task submission.
+        retry: per-task retry/timeout/backoff policy for campaign execution
+            (``None`` → :class:`~repro.parallel.RetryPolicy`'s defaults:
+            two attempts, no timeout).
+        failure_budget: how many products :meth:`ensure_all` may leave as
+            holes before raising :class:`~repro.errors.CampaignError`
+            (0 = any permanent failure raises, preserving the historical
+            all-or-nothing behavior).
     """
 
     def __init__(
@@ -201,10 +212,18 @@ class ReproductionPipeline:
         legacy_cache: Optional[str | Path] = None,
         workers: Optional[int] = None,
         chunksize: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        failure_budget: int = 0,
     ) -> None:
         from ...cluster import cab_config
 
+        if failure_budget < 0:
+            raise ExperimentError(
+                f"failure_budget must be >= 0, got {failure_budget}"
+            )
         self.settings = settings
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.failure_budget = failure_budget
         self.machine_config = machine_config or cab_config(seed=settings.seed)
         self.applications = applications if applications is not None else paper_applications()
         if catalog is None:
@@ -471,38 +490,66 @@ class ReproductionPipeline:
     # Campaign execution
     # ------------------------------------------------------------------
     def ensure_all(
-        self, workers: Optional[int] = None, chunksize: Optional[int] = None
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        failure_budget: Optional[int] = None,
     ) -> Dict[str, object]:
-        """Run (or load) every product of the full evaluation.
+        """Run (or load) every product of the full evaluation, fault-tolerantly.
 
         Pending products fan out through a process pool in two dependency
         stages: measurements (impacts, signatures, baselines) after the
         calibration, then degradations and co-runs after the baselines.
-        Results land in cache-key order within each stage, each flushing its
-        shard atomically, so interrupting the campaign never loses completed
-        work.  A failing experiment is retried once; persistent failures
-        raise with the offending descriptor in the message.
+        Results land as they complete, each flushing its shard atomically,
+        so interrupting the campaign never loses completed work.
+
+        Each task runs under the pipeline's :class:`~repro.parallel.RetryPolicy`
+        — bounded retries with backoff, an optional per-task timeout that
+        kills hung workers, and automatic pool respawn after a worker crash.
+        A task that exhausts its attempts becomes a hole plus a structured
+        :class:`~repro.errors.FailureRecord`; products depending on a failed
+        input (degradations and pairs of a failed baseline) are skipped with
+        a ``dependency`` record rather than attempted.  The campaign finishes
+        with holes as long as the number of permanent failures stays within
+        the failure budget, and writes a machine-readable
+        ``failure_report.json`` next to the shards either way.
 
         Args:
             workers: process count (``None`` → the pipeline's default).
             chunksize: descriptors per pool submission (``None`` → default).
+            failure_budget: override the pipeline's failure budget.
 
         Returns:
-            Campaign stats: total/executed product counts, elapsed seconds,
-            and the worker count used.
+            Campaign stats: total/executed/cached/failed product counts,
+            elapsed seconds, worker count, retry count, and the failure
+            records (as dicts) with the report path, if one was written.
+
+        Raises:
+            CampaignError: the calibration failed permanently (everything
+                depends on it), or permanent failures exceeded the budget.
         """
         count = workers if workers is not None else self.workers
         if count is None:
             count = default_worker_count()
         chunk = chunksize if chunksize is not None else self.chunksize
+        budget = failure_budget if failure_budget is not None else self.failure_budget
 
         start = time.time()
         pending = set(self.pending_keys())
         progress = _CampaignProgress(len(pending), self.verbose)
+        failures: List[FailureRecord] = []
+        transients: List[FailureRecord] = []
 
         if self._key("calibration") in pending:
-            self.calibration()
-            progress.advance(self._key("calibration"))
+            calibration = self._calibration_descriptor()
+            report = self._run_stage([calibration], 1, 1, progress, failures, transients)
+            if report is not None and report.failures:
+                self._write_failure_report(failures, transients, start, count)
+                raise CampaignError(
+                    "calibration failed permanently — no experiment can run "
+                    "without it: " + failures[-1].describe(),
+                    failures,
+                )
 
         stage_one = [
             self._impact_descriptor(name)
@@ -519,36 +566,69 @@ class ReproductionPipeline:
             for name in self.app_names
             if self._key(f"baseline/{name}") in pending
         )
-        self._run_stage(stage_one, count, chunk, progress)
+        self._run_stage(stage_one, count, chunk, progress, failures, transients)
 
-        stage_two = [
-            self._degradation_descriptor(name, config)
-            for name in self.app_names
-            for config in self.catalog
-            if self._key(f"degradation/{name}/{config.label}") in pending
-        ]
-        stage_two.extend(
-            self._pair_descriptor(measured, other)
-            for measured in self.app_names
-            for other in self.app_names
-            if self._key(f"pair/{measured}/{other}") in pending
-        )
-        self._run_stage(stage_two, count, chunk, progress)
+        # Stage two only builds descriptors whose baseline actually landed;
+        # dependents of a failed baseline become dependency records, not runs.
+        stage_two: List[ExperimentDescriptor] = []
+        for name in self.app_names:
+            has_baseline = self._key(f"baseline/{name}") in self._cache
+            for config in self.catalog:
+                key = self._key(f"degradation/{name}/{config.label}")
+                if key not in pending:
+                    continue
+                if has_baseline:
+                    stage_two.append(self._degradation_descriptor(name, config))
+                else:
+                    failures.append(self._dependency_record(key, "degradation", name))
+        for measured in self.app_names:
+            has_baseline = self._key(f"baseline/{measured}") in self._cache
+            for other in self.app_names:
+                key = self._key(f"pair/{measured}/{other}")
+                if key not in pending:
+                    continue
+                if has_baseline:
+                    stage_two.append(self._pair_descriptor(measured, other))
+                else:
+                    failures.append(self._dependency_record(key, "pair", measured))
+        self._run_stage(stage_two, count, chunk, progress, failures, transients)
 
         elapsed = time.time() - start
+        report_path = self._write_failure_report(failures, transients, start, count)
+        if len(failures) > budget:
+            raise CampaignError(
+                f"{len(failures)} experiment(s) failed permanently, exceeding "
+                f"the failure budget of {budget}: "
+                + "; ".join(record.describe() for record in failures),
+                failures,
+            )
         if self.verbose and pending:
+            holes = f", {len(failures)} hole(s)" if failures else ""
             print(
-                f"[pipeline] campaign complete: {len(pending)} experiment(s) "
-                f"in {elapsed:.1f}s with {count} worker(s)",
+                f"[pipeline] campaign complete: {len(pending) - len(failures)} "
+                f"experiment(s){holes} in {elapsed:.1f}s with {count} worker(s)",
                 flush=True,
             )
         return {
             "total": len(self.product_keys()),
-            "executed": len(pending),
+            "executed": len(pending) - len(failures),
             "cached": len(self.product_keys()) - len(pending),
+            "failed": len(failures),
+            "retried": len(transients),
             "elapsed": elapsed,
             "workers": count,
+            "failure_records": [record.to_dict() for record in failures],
+            "failure_report": str(report_path) if report_path else None,
         }
+
+    def _dependency_record(self, key: str, kind: str, app: str) -> FailureRecord:
+        return FailureRecord(
+            key=key,
+            category="dependency",
+            message=f"baseline/{app} unavailable (failed upstream)",
+            attempts=0,
+            kind=kind,
+        )
 
     def _run_stage(
         self,
@@ -556,54 +636,68 @@ class ReproductionPipeline:
         workers: int,
         chunksize: int,
         progress: _CampaignProgress,
-    ) -> None:
+        failures: List[FailureRecord],
+        transients: List[FailureRecord],
+    ):
         if not descriptors:
-            return
-        failures = self._dispatch(descriptors, workers, chunksize, progress)
-        if failures:
-            if self.verbose:
-                print(
-                    f"[pipeline] retrying {len(failures)} failed experiment(s)",
-                    flush=True,
-                )
-            failures = self._dispatch(
-                [descriptor for descriptor, _error in failures],
-                workers,
-                chunksize,
-                progress,
-            )
-        if failures:
-            details = "; ".join(
-                f"{descriptor.key}: {error} (descriptor={descriptor!r})"
-                for descriptor, error in failures
-            )
-            raise ExperimentError(
-                f"{len(failures)} experiment(s) failed after one retry: {details}"
-            )
-
-    def _dispatch(
-        self,
-        descriptors: List[ExperimentDescriptor],
-        workers: int,
-        chunksize: int,
-        progress: _CampaignProgress,
-    ) -> List[Tuple[ExperimentDescriptor, str]]:
+            return None
         by_key = {descriptor.key: descriptor for descriptor in descriptors}
-        failures: List[Tuple[ExperimentDescriptor, str]] = []
 
-        def land(result: Tuple[str, object, Optional[str]]) -> None:
-            key, value, error = result
-            if error is not None:
-                failures.append((by_key[key], error))
-                return
+        def land(_index: int, key: str, value: object) -> None:
             self._cache.put(key, value)
             progress.advance(key)
 
-        map_experiments(
-            run_experiment_guarded,
+        report = run_tasks(
+            run_experiment,
             descriptors,
+            keys=[descriptor.key for descriptor in descriptors],
             workers=workers,
             chunksize=chunksize,
+            policy=self.retry,
             on_result=land,
         )
-        return failures
+        for record in report.failures:
+            record.kind = by_key[record.key].kind
+            failures.append(record)
+            if self.verbose:
+                print(f"[pipeline] FAILED {record.describe()}", flush=True)
+        for record in report.transients:
+            record.kind = by_key[record.key].kind
+            transients.append(record)
+            if self.verbose:
+                print(f"[pipeline] retrying {record.describe()}", flush=True)
+        return report
+
+    def _write_failure_report(
+        self,
+        failures: List[FailureRecord],
+        transients: List[FailureRecord],
+        start: float,
+        workers: int,
+    ) -> Optional[Path]:
+        """Persist the campaign's failure accounting next to the shards.
+
+        Written on every campaign (an empty report overwrites stale ones) so
+        automation can always read the latest campaign's health from one
+        well-known file.  Memory-only caches skip the write.
+        """
+        if self._cache.directory is None:
+            return None
+        path = self._cache.directory / FAILURE_REPORT_NAME
+        document = {
+            "engine": self.settings.engine,
+            "profile": self.settings.profile,
+            "started_at": start,
+            "elapsed": time.time() - start,
+            "workers": workers,
+            "failure_count": len(failures),
+            "failures": [record.to_dict() for record in failures],
+            "transient_count": len(transients),
+            "transients": [record.to_dict() for record in transients],
+            "quarantined_shards": [
+                str(shard) for shard in self._cache.quarantined
+            ],
+        }
+        self._cache.directory.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        return path

@@ -49,7 +49,11 @@ class LatencyHistogram:
         if data.size == 0:
             raise ExperimentError("cannot build a histogram from zero samples")
         counts, _ = np.histogram(data, bins=edges)
-        overflow = int((data >= edges[-1]).sum())
+        # np.histogram's last bin is closed on both sides, so a sample equal
+        # to the final edge is already in counts; overflow must be strictly
+        # beyond the edge or such samples would be counted twice, inflating
+        # total and under-normalizing every fraction the PDFLT model uses.
+        overflow = int((data > edges[-1]).sum())
         return cls(edges, counts, overflow)
 
     # ------------------------------------------------------------------

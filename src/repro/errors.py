@@ -1,11 +1,17 @@
-"""Exception hierarchy for :mod:`repro`.
+"""Exception hierarchy and failure taxonomy for :mod:`repro`.
 
 Every error raised by the library derives from :class:`ReproError` so callers
 can catch library failures with a single ``except`` clause while still letting
 programming errors (``TypeError`` etc.) propagate.
+
+The module also defines :class:`FailureRecord`, the structured unit of the
+campaign's failure accounting: a partial campaign does not raise a stack
+trace, it finishes with holes and a machine-readable list of these records.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 __all__ = [
     "ReproError",
@@ -18,6 +24,10 @@ __all__ = [
     "ExperimentError",
     "AnalyticModelError",
     "ModelError",
+    "InjectedFault",
+    "FailureRecord",
+    "FAILURE_CATEGORIES",
+    "CampaignError",
 ]
 
 
@@ -73,3 +83,95 @@ class AnalyticModelError(ExperimentError):
 
 class ModelError(ReproError):
     """A prediction model was queried before being fitted, or misused."""
+
+
+class InjectedFault(ReproError):
+    """A deliberate failure raised by the fault-injection hook.
+
+    Never raised in normal operation — only when a fault plan
+    (:mod:`repro.faults`) names the current experiment and attempt.  Tests
+    and CI use it to exercise every recovery path deterministically.
+    """
+
+
+#: The closed set of ways one campaign task can fail.
+#:
+#: ``exception``    — the experiment function raised.
+#: ``timeout``      — the task exceeded its per-task deadline and its worker
+#:                    was killed.
+#: ``worker-crash`` — the hosting worker process died (segfault, ``os._exit``,
+#:                    OOM kill) and took the pool down with it.
+#: ``dependency``   — never attempted: an input product (e.g. the app's
+#:                    baseline) failed upstream.
+FAILURE_CATEGORIES = ("exception", "timeout", "worker-crash", "dependency")
+
+
+@dataclass
+class FailureRecord:
+    """One task's terminal (or retried) failure, machine-readable.
+
+    Attributes:
+        key: the product's cache key.
+        category: one of :data:`FAILURE_CATEGORIES`.
+        message: ``"TypeName: detail"`` of the underlying error.
+        attempts: attempts consumed when the record was cut (0 for
+            ``dependency`` records, which never run).
+        kind: experiment kind (``impact``, ``pair``, …); filled in by the
+            pipeline, empty for generic tasks.
+        elapsed: seconds spent across all attempts, where known.
+    """
+
+    key: str
+    category: str
+    message: str
+    attempts: int = 1
+    kind: str = ""
+    elapsed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.category not in FAILURE_CATEGORIES:
+            raise ConfigurationError(
+                f"unknown failure category {self.category!r}; "
+                f"expected one of {', '.join(FAILURE_CATEGORIES)}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the failure report's row format)."""
+        return {
+            "key": self.key,
+            "category": self.category,
+            "message": self.message,
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        return cls(
+            key=data["key"],
+            category=data["category"],
+            message=data["message"],
+            attempts=int(data.get("attempts", 1)),
+            kind=data.get("kind", ""),
+            elapsed=float(data.get("elapsed", 0.0)),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.key} [{self.category}] after {self.attempts} attempt(s): "
+            f"{self.message}"
+        )
+
+
+class CampaignError(ExperimentError):
+    """The campaign's permanent failures exceeded its failure budget.
+
+    Carries the full list of :class:`FailureRecord` s so callers can emit a
+    structured report even when the budget is blown.
+    """
+
+    def __init__(self, message: str, failures: "list[FailureRecord]" = ()) -> None:  # type: ignore[assignment]
+        self.failures = list(failures)
+        super().__init__(message)

@@ -1,5 +1,17 @@
-"""Parallel experiment driver (process-pool map with serial fallback)."""
+"""Fault-tolerant parallel experiment driver (process pool with retry/timeout)."""
 
-from .runner import default_worker_count, map_experiments
+from .runner import (
+    RetryPolicy,
+    RunReport,
+    default_worker_count,
+    map_experiments,
+    run_tasks,
+)
 
-__all__ = ["map_experiments", "default_worker_count"]
+__all__ = [
+    "map_experiments",
+    "run_tasks",
+    "default_worker_count",
+    "RetryPolicy",
+    "RunReport",
+]

@@ -1,10 +1,17 @@
-"""Parallel experiment execution.
+"""Fault-tolerant parallel experiment execution.
 
 The reproduction campaign is embarrassingly parallel: every experiment
-builds its own machine and shares nothing.  :func:`map_experiments` runs a
-pure function over experiment descriptors with an optional process pool —
-on multi-core hosts the 330-run campaign scales nearly linearly; on a single
-core it degrades gracefully to a serial loop.
+builds its own machine and shares nothing.  :func:`run_tasks` runs a pure
+function over task items with per-task future scheduling and a
+:class:`RetryPolicy` — bounded retries with exponential backoff and
+deterministic jitter, a per-task timeout that kills and recycles hung
+workers, and recovery from a broken process pool (respawn, requeue the
+in-flight items).  A task that exhausts its attempts becomes a structured
+:class:`~repro.errors.FailureRecord` instead of taking the campaign down.
+
+:func:`map_experiments` is the simple all-or-nothing facade kept for callers
+that want the old ``pool.map`` semantics (results in item order, first
+failure raises).
 
 Functions and items must be picklable (top-level functions, dataclass
 configs) for the process-pool path.
@@ -13,20 +20,520 @@ configs) for the process-pool path.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+import random
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from ..errors import ConfigurationError
+from .. import faults
+from ..errors import ConfigurationError, ExperimentError, FailureRecord
 
-__all__ = ["map_experiments", "default_worker_count"]
+__all__ = [
+    "map_experiments",
+    "run_tasks",
+    "default_worker_count",
+    "RetryPolicy",
+    "RunReport",
+]
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
 
+def _available_cpu_count() -> int:
+    """CPUs actually usable by this process.
+
+    ``os.cpu_count()`` reports the machine's cores, which overcounts under
+    CPU affinity masks and cgroup CPU sets (CI containers, ``taskset``,
+    k8s limits); the scheduler affinity mask is the honest number where the
+    platform exposes it.
+    """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return len(getter(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
 def default_worker_count() -> int:
-    """Workers to use by default: all cores but one, at least 1."""
-    return max(1, (os.cpu_count() or 1) - 1)
+    """Workers to use by default: all usable cores but one, at least 1."""
+    return max(1, _available_cpu_count() - 1)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before declaring one task permanently failed.
+
+    Attributes:
+        max_attempts: total attempts per task (1 = no retry; the default 2
+            preserves the campaign's historical retry-once behavior).
+        timeout: per-task wall-clock budget in seconds; ``None`` disables
+            timeouts.  Enforced only on the pool path — a hung task's worker
+            is killed, the pool respawned, and the task retried.  (With
+            ``workers=1`` a configured timeout forces a single-worker pool so
+            it can still be enforced.)
+        backoff_base: sleep before the second attempt, in seconds.
+        backoff_factor: multiplier per further attempt (exponential).
+        backoff_max: backoff ceiling in seconds.
+        jitter: fractional jitter added to each backoff, derived
+            deterministically from ``(task key, attempt)`` so reruns behave
+            identically.
+        max_respawns: how many times the process pool may be rebuilt (after
+            crashes or timeout kills) before the run aborts.
+    """
+
+    max_attempts: int = 2
+    timeout: Optional[float] = None
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+    max_respawns: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ConfigurationError("invalid backoff parameters")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_respawns < 0:
+            raise ConfigurationError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (2-based).
+
+        Exponential in the attempt number with a deterministic jitter seeded
+        from ``(key, attempt)``: two runs of the same campaign back off
+        identically, but different tasks desynchronize.
+        """
+        if self.backoff_base == 0:
+            return 0.0
+        raw = self.backoff_base * self.backoff_factor ** max(0, attempt - 2)
+        unit = random.Random(f"{key}:{attempt}").random()
+        return min(self.backoff_max, raw * (1.0 + self.jitter * unit))
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :func:`run_tasks` call.
+
+    Attributes:
+        results: per-item results in item order; ``None`` where the task
+            failed permanently (check ``failures`` to distinguish a ``None``
+            result from a hole).
+        failures: terminal :class:`~repro.errors.FailureRecord` s.
+        transients: attempt-level failures that were later retried
+            (successfully or not) — the observability trail of the retry
+            machinery.
+        pool_respawns: times the process pool was rebuilt.
+    """
+
+    results: List[Optional[object]] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
+    transients: List[FailureRecord] = field(default_factory=list)
+    pool_respawns: int = 0
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _run_chunk(
+    function: Callable[[ItemT], ResultT],
+    entries: List[Tuple[int, str, int, ItemT]],
+) -> List[Tuple[int, Optional[ResultT], Optional[str]]]:
+    """Worker entry point: run a chunk of ``(index, key, attempt, item)``.
+
+    Per-item exceptions are captured as strings so one bad experiment never
+    poisons its chunk-mates or the pool; only a hard process death (crash
+    fault, segfault, OOM) escapes, surfacing driver-side as a broken pool.
+    """
+    outcomes: List[Tuple[int, Optional[ResultT], Optional[str]]] = []
+    for index, _key, attempt, item in entries:
+        faults.set_current_attempt(attempt)
+        try:
+            outcomes.append((index, function(item), None))
+        except Exception as exc:
+            outcomes.append((index, None, f"{type(exc).__name__}: {exc}"))
+        finally:
+            faults.set_current_attempt(1)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+@dataclass
+class _Task:
+    """Driver-side state of one item across its attempts."""
+
+    index: int
+    key: str
+    item: object
+    attempt: int = 1
+    started: float = 0.0
+
+
+class _Scheduler:
+    """Per-task future scheduling with retry, timeout, and pool recovery."""
+
+    def __init__(
+        self,
+        function: Callable,
+        tasks: List[_Task],
+        workers: int,
+        chunksize: int,
+        policy: RetryPolicy,
+        on_result: Optional[Callable[[int, str, object], None]],
+    ) -> None:
+        self.function = function
+        self.tasks = {task.index: task for task in tasks}
+        self.workers = workers
+        self.chunksize = chunksize
+        self.policy = policy
+        self.on_result = on_result
+        self.report = RunReport(results=[None] * len(tasks))
+        # ready: chunks runnable now; waiting: (ready_at, chunk) backoff queue.
+        self.ready: deque = deque()
+        self.waiting: List[Tuple[float, List[_Task]]] = []
+        for start in range(0, len(tasks), chunksize):
+            self.ready.append(tasks[start : start + chunksize])
+        self.in_flight: Dict[Future, Tuple[List[_Task], Optional[float]]] = {}
+        self.pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle -------------------------------------------------
+    def _spawn_pool(self) -> None:
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def _respawn_pool(self) -> None:
+        self.report.pool_respawns += 1
+        if self.report.pool_respawns > self.policy.max_respawns:
+            raise ExperimentError(
+                f"process pool broke {self.report.pool_respawns} times "
+                f"(max_respawns={self.policy.max_respawns}); aborting — "
+                "the environment, not individual experiments, is failing"
+            )
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+        self._spawn_pool()
+
+    def _kill_pool_processes(self) -> None:
+        """Terminate the pool's workers (the only way to stop a hung task)."""
+        assert self.pool is not None
+        processes = getattr(self.pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+
+    # -- outcome bookkeeping --------------------------------------------
+    def _land(self, task: _Task, value: object) -> None:
+        self.report.results[task.index] = value
+        if self.on_result is not None:
+            self.on_result(task.index, task.key, value)
+        del self.tasks[task.index]
+
+    def _fail_attempt(self, task: _Task, category: str, message: str) -> None:
+        """Charge one failed attempt; requeue with backoff or record the hole."""
+        elapsed = time.monotonic() - task.started if task.started else 0.0
+        record = FailureRecord(
+            key=task.key,
+            category=category,
+            message=message,
+            attempts=task.attempt,
+            elapsed=elapsed,
+        )
+        if task.attempt >= self.policy.max_attempts:
+            self.report.failures.append(record)
+            del self.tasks[task.index]
+            return
+        self.report.transients.append(record)
+        delay = self.policy.backoff_delay(task.key, task.attempt + 1)
+        task.attempt += 1
+        self.waiting.append((time.monotonic() + delay, [task]))
+
+    def _requeue(self, tasks: List[_Task]) -> None:
+        """Put innocent (killed-through-no-fault) tasks back, uncharged."""
+        live = [task for task in tasks if task.index in self.tasks]
+        if live:
+            self.ready.append(live)
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> RunReport:
+        self._spawn_pool()
+        try:
+            while self.ready or self.waiting or self.in_flight:
+                self._promote_waiting()
+                self._submit_ready()
+                if not self.in_flight:
+                    self._sleep_until_next_waiting()
+                    continue
+                self._collect()
+        finally:
+            if self.pool is not None:
+                self.pool.shutdown(wait=False, cancel_futures=True)
+        return self.report
+
+    def _promote_waiting(self) -> None:
+        now = time.monotonic()
+        still_waiting = []
+        for ready_at, chunk in self.waiting:
+            if ready_at <= now:
+                self.ready.append(chunk)
+            else:
+                still_waiting.append((ready_at, chunk))
+        self.waiting = still_waiting
+
+    def _submit_ready(self) -> None:
+        while self.ready and len(self.in_flight) < self.workers:
+            chunk = [task for task in self.ready.popleft() if task.index in self.tasks]
+            if not chunk:
+                continue
+            now = time.monotonic()
+            for task in chunk:
+                task.started = now
+            entries = [
+                (task.index, task.key, task.attempt, task.item) for task in chunk
+            ]
+            try:
+                future = self.pool.submit(_run_chunk, self.function, entries)
+            except BrokenProcessPool:
+                self.ready.appendleft(chunk)
+                self._recover_from_broken_pool()
+                continue
+            deadline = (
+                now + self.policy.timeout * len(chunk)
+                if self.policy.timeout is not None
+                else None
+            )
+            self.in_flight[future] = (chunk, deadline)
+
+    def _sleep_until_next_waiting(self) -> None:
+        if not self.waiting:
+            return
+        delay = min(ready_at for ready_at, _ in self.waiting) - time.monotonic()
+        if delay > 0:
+            time.sleep(min(delay, 0.5))
+
+    def _collect(self) -> None:
+        now = time.monotonic()
+        timeout = None
+        deadlines = [dl for _, dl in self.in_flight.values() if dl is not None]
+        if deadlines:
+            timeout = max(0.0, min(deadlines) - now)
+        if self.waiting:
+            next_ready = min(ready_at for ready_at, _ in self.waiting) - now
+            timeout = max(0.0, next_ready) if timeout is None else min(timeout, max(0.0, next_ready))
+        done, _ = wait(list(self.in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
+        if done:
+            self._process_done(done)
+        else:
+            self._enforce_timeouts()
+
+    def _process_done(self, done) -> None:
+        broken = False
+        for future in done:
+            chunk, _deadline = self.in_flight.pop(future)
+            exc = future.exception()
+            if exc is None:
+                for index, value, error in future.result():
+                    task = self.tasks.get(index)
+                    if task is None:
+                        continue
+                    if error is None:
+                        self._land(task, value)
+                    else:
+                        self._fail_attempt(task, "exception", error)
+            elif isinstance(exc, BrokenProcessPool):
+                broken = True
+                for task in chunk:
+                    if task.index in self.tasks:
+                        self._fail_attempt(
+                            task, "worker-crash", f"{type(exc).__name__}: {exc}"
+                        )
+            else:
+                # Driver-side failure (e.g. unpicklable result): charge it.
+                for task in chunk:
+                    if task.index in self.tasks:
+                        self._fail_attempt(
+                            task, "exception", f"{type(exc).__name__}: {exc}"
+                        )
+        if broken:
+            self._recover_from_broken_pool()
+
+    def _recover_from_broken_pool(self) -> None:
+        """Drain doomed futures, charge crash attempts, respawn the pool.
+
+        Once the pool is broken every in-flight future completes (with
+        ``BrokenProcessPool``) almost immediately; the culprit is not
+        identifiable, so every in-flight task is charged one
+        ``worker-crash`` attempt.
+        """
+        for future, (chunk, _deadline) in list(self.in_flight.items()):
+            exc = future.exception()  # blocks briefly; broken futures resolve fast
+            del self.in_flight[future]
+            if exc is None:
+                for index, value, error in future.result():
+                    task = self.tasks.get(index)
+                    if task is None:
+                        continue
+                    if error is None:
+                        self._land(task, value)
+                    else:
+                        self._fail_attempt(task, "exception", error)
+            else:
+                for task in chunk:
+                    if task.index in self.tasks:
+                        self._fail_attempt(
+                            task, "worker-crash", f"{type(exc).__name__}: {exc}"
+                        )
+        self._respawn_pool()
+
+    def _enforce_timeouts(self) -> None:
+        now = time.monotonic()
+        guilty = {
+            future
+            for future, (_chunk, deadline) in self.in_flight.items()
+            if deadline is not None and now >= deadline
+        }
+        if not guilty:
+            return
+        # A running future cannot be cancelled: kill the workers, which
+        # breaks the pool, then sort the wreckage — the timed-out chunk is
+        # charged a timeout attempt, bystanders are requeued uncharged, and
+        # anything that squeaked through before the kill still lands.
+        self._kill_pool_processes()
+        for future, (chunk, _deadline) in list(self.in_flight.items()):
+            exc = future.exception()  # wait for the break to propagate
+            del self.in_flight[future]
+            if exc is None:
+                for index, value, error in future.result():
+                    task = self.tasks.get(index)
+                    if task is None:
+                        continue
+                    if error is None:
+                        self._land(task, value)
+                    else:
+                        self._fail_attempt(task, "exception", error)
+            elif future in guilty:
+                for task in chunk:
+                    if task.index in self.tasks:
+                        self._fail_attempt(
+                            task,
+                            "timeout",
+                            f"exceeded the {self.policy.timeout}s task timeout; "
+                            "worker killed",
+                        )
+            else:
+                self._requeue(chunk)
+        self._respawn_pool()
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _run_serial(
+    function: Callable[[ItemT], ResultT],
+    tasks: List[_Task],
+    policy: RetryPolicy,
+    on_result: Optional[Callable[[int, str, object], None]],
+) -> RunReport:
+    report = RunReport(results=[None] * len(tasks))
+    for task in tasks:
+        while True:
+            faults.set_current_attempt(task.attempt)
+            task.started = time.monotonic()
+            try:
+                value = function(task.item)  # type: ignore[arg-type]
+            except Exception as exc:
+                record = FailureRecord(
+                    key=task.key,
+                    category="exception",
+                    message=f"{type(exc).__name__}: {exc}",
+                    attempts=task.attempt,
+                    elapsed=time.monotonic() - task.started,
+                )
+                if task.attempt >= policy.max_attempts:
+                    report.failures.append(record)
+                    break
+                report.transients.append(record)
+                task.attempt += 1
+                delay = policy.backoff_delay(task.key, task.attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            finally:
+                faults.set_current_attempt(1)
+            report.results[task.index] = value
+            if on_result is not None:
+                on_result(task.index, task.key, value)
+            break
+    return report
+
+
+def run_tasks(
+    function: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    keys: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[int, str, object], None]] = None,
+) -> RunReport:
+    """Run ``function`` over ``items`` fault-tolerantly; never raises per-task.
+
+    Args:
+        function: pure task function (must be picklable for workers > 1).
+        items: task inputs.
+        keys: stable per-item labels used in failure records, fault matching,
+            and backoff jitter (default: the item's index as a string).
+        workers: process count; ``None`` → :func:`default_worker_count`;
+            ``1`` runs serially in-process **unless** the policy sets a
+            timeout (timeouts need a killable worker, so a single-worker
+            pool is used instead).
+        chunksize: items per pool submission (amortizes IPC for many small
+            tasks; timeouts scale with chunk length; retries always resubmit
+            individually).
+        policy: retry/timeout/backoff knobs (default :class:`RetryPolicy`).
+        on_result: called in the driver as each item lands (in completion
+            order) with ``(index, key, value)``.
+
+    Returns:
+        A :class:`RunReport`: per-item results (``None`` at the holes),
+        terminal failures, transient (retried) failures, and pool respawns.
+
+    Raises:
+        ConfigurationError: invalid ``workers``/``chunksize``/``keys``.
+        ExperimentError: the pool broke more than ``policy.max_respawns``
+            times — an environment-level failure no retry can fix.
+    """
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if chunksize < 1:
+        raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+    if keys is not None and len(keys) != len(items):
+        raise ConfigurationError(
+            f"keys/items length mismatch: {len(keys)} != {len(items)}"
+        )
+    policy = policy if policy is not None else RetryPolicy()
+    count = workers if workers is not None else default_worker_count()
+    labels = list(keys) if keys is not None else [str(i) for i in range(len(items))]
+    tasks = [_Task(index=i, key=labels[i], item=item) for i, item in enumerate(items)]
+    if not tasks:
+        return RunReport()
+    serial = (count == 1 or len(tasks) == 1) and policy.timeout is None
+    if serial:
+        return _run_serial(function, tasks, policy, on_result)
+    return _Scheduler(function, tasks, count, chunksize, policy, on_result).run()
 
 
 def map_experiments(
@@ -36,38 +543,33 @@ def map_experiments(
     chunksize: int = 1,
     on_result: Optional[Callable[[ResultT], None]] = None,
 ) -> List[ResultT]:
-    """Apply ``function`` to every item, possibly in parallel.
+    """Apply ``function`` to every item, possibly in parallel (all-or-nothing).
 
-    Args:
-        function: pure experiment function (must be picklable for workers>1).
-        items: experiment descriptors.
-        workers: process count; ``None`` → :func:`default_worker_count`;
-            ``1`` (or a single-core host) → serial in-process execution.
-        chunksize: items per task submission (larger amortizes IPC for many
-            small experiments).
-        on_result: optional callback invoked in the driver process with each
-            result *as it lands*, in item order — the hook the pipeline uses
-            for incremental shard flushing and progress reporting.
-
-    Returns:
-        Results in item order.
+    The simple facade over :func:`run_tasks`: no retries, no timeout,
+    results returned — and streamed to ``on_result`` — in item order.  The
+    first failing item raises :class:`~repro.errors.ExperimentError`.
+    Callers that need partial results, retries, or timeouts should use
+    :func:`run_tasks` directly.
     """
-    if workers is not None and workers < 1:
-        raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    if chunksize < 1:
-        raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
-    count = workers if workers is not None else default_worker_count()
-    results: List[ResultT] = []
-    if count == 1 or len(items) <= 1:
-        for item in items:
-            value = function(item)
-            if on_result is not None:
-                on_result(value)
-            results.append(value)
-        return results
-    with ProcessPoolExecutor(max_workers=count) as pool:
-        for value in pool.map(function, items, chunksize=chunksize):
-            if on_result is not None:
-                on_result(value)
-            results.append(value)
-    return results
+    pending = 0
+    buffered: Dict[int, ResultT] = {}
+
+    def stream(index: int, _key: str, value: object) -> None:
+        nonlocal pending
+        buffered[index] = value  # type: ignore[assignment]
+        while pending in buffered:
+            on_result(buffered.pop(pending))  # type: ignore[misc]
+            pending += 1
+
+    report = run_tasks(
+        function,
+        items,
+        workers=workers,
+        chunksize=chunksize,
+        policy=RetryPolicy(max_attempts=1, backoff_base=0.0),
+        on_result=stream if on_result is not None else None,
+    )
+    if report.failures:
+        first = report.failures[0]
+        raise ExperimentError(f"experiment {first.key} failed: {first.message}")
+    return report.results  # type: ignore[return-value]

@@ -64,9 +64,11 @@ def test_cache_persists_to_disk(tmp_path):
     baseline = pipeline.app_baseline("mcb")
     calibration = pipeline.calibration()
 
-    # Each product group lands in its own shard file.
-    data = json.loads((tmp_path / "cache" / "baseline.json").read_text())
-    assert data["baseline/mcb"] == baseline
+    # Each product group lands in its own checksummed shard file.
+    document = json.loads((tmp_path / "cache" / "baseline.json").read_text())
+    assert document["__shard_format__"] == 2
+    assert len(document["sha256"]) == 64
+    assert document["products"]["baseline/mcb"] == baseline
     assert (tmp_path / "cache" / "calibration.json").exists()
 
     # A fresh pipeline reloads without re-simulating.

@@ -31,6 +31,25 @@ def test_from_values_counts_and_overflow():
     assert hist.total == 5
 
 
+def test_sample_on_last_edge_is_not_double_counted():
+    # Regression: np.histogram puts a sample exactly equal to the last edge
+    # in the final (closed) bin, and a >= overflow test counted it again —
+    # [1e-6, 12e-6] against the paper edges reported total == 3.
+    edges = paper_bin_edges()  # last edge is exactly 12 µs
+    hist = LatencyHistogram.from_values([1e-6, 12e-6], edges)
+    assert hist.total == 2
+    assert hist.overflow == 0
+    assert hist.counts[-1] == 1  # the edge sample lives in the last bin
+    assert hist.fractions.sum() + hist.overflow_fraction == pytest.approx(1.0)
+
+
+def test_overflow_is_strictly_beyond_last_edge():
+    edges = np.array([0.0, 1.0, 2.0])
+    hist = LatencyHistogram.from_values([0.5, 2.0, 2.0000001, 9.0], edges)
+    assert hist.overflow == 2
+    assert hist.total == 4
+
+
 def test_fractions_sum_to_one_including_overflow():
     edges = np.array([0.0, 1.0, 2.0])
     hist = LatencyHistogram.from_values([0.5, 1.5, 9.0], edges)

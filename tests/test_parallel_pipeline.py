@@ -13,7 +13,7 @@ import pytest
 
 from repro.cluster import small_test_config
 from repro.core.experiments import PipelineSettings, ReproductionPipeline
-from repro.errors import ExperimentError
+from repro.errors import CampaignError, FailureRecord
 from repro.parallel import map_experiments
 from repro.units import MS
 from repro.workloads import FFTW, MCB, CompressionConfig, Workload
@@ -135,6 +135,7 @@ def test_shards_land_per_product_group(tmp_path):
         "baseline.json",
         "degradation.json",
         "pair.json",
+        "failure_report.json",  # reserved: the campaign's health record
     }
 
 
@@ -195,15 +196,57 @@ def test_parallel_resume_matches_serial_resume(tmp_path):
 # ----------------------------------------------------------------------
 # Failure handling
 # ----------------------------------------------------------------------
-def test_failing_experiment_surfaces_descriptor_after_retry(tmp_path):
+def test_failing_experiment_exceeds_default_budget_and_raises(tmp_path):
     pipeline = _pipeline(
         tmp_path / "cache",
         applications={"boom": _Boom()},
     )
-    with pytest.raises(ExperimentError, match="after one retry") as excinfo:
+    with pytest.raises(CampaignError, match="failure budget") as excinfo:
         pipeline.ensure_all(workers=1)
     message = str(excinfo.value)
     assert "boom" in message
-    assert "descriptor=" in message
+    records = excinfo.value.failures
+    assert records and all(isinstance(r, FailureRecord) for r in records)
+    # Every attempt was consumed before the task was declared a hole.
+    attempted = [r for r in records if r.category == "exception"]
+    assert attempted and all(r.attempts == 2 for r in attempted)
+    # Pairs/degradations of the failed baseline were skipped, not attempted.
+    assert any(r.category == "dependency" for r in records)
     # Products computed before the failure stayed cached for the next resume.
     assert "calibration" in pipeline._cache
+    # The machine-readable report was written even though the run raised.
+    report = json.loads((tmp_path / "cache" / "failure_report.json").read_text())
+    assert report["failure_count"] == len(records)
+    assert {row["key"] for row in report["failures"]} == {r.key for r in records}
+
+
+def test_campaign_completes_with_holes_within_budget(tmp_path):
+    pipeline = _pipeline(
+        tmp_path / "cache",
+        applications={
+            "fftw": FFTW(iterations=1, pack_compute=5e-5),
+            "boom": _Boom(),
+        },
+    )
+    budget = 32  # boom's impact/baseline + every dependent degradation/pair
+    stats = pipeline.ensure_all(workers=1, failure_budget=budget)
+    assert stats["failed"] > 0
+    assert stats["executed"] + stats["failed"] == stats["total"]
+    failed_keys = {row["key"] for row in stats["failure_records"]}
+    assert all("boom" in key for key in failed_keys)
+    # The healthy application's products all landed despite the holes.
+    assert pipeline.app_baseline("fftw") > 0
+    assert pipeline.pair_slowdown("fftw", "fftw") is not None
+
+    # A follow-up run with the faulty app replaced backfills only the holes.
+    fixed = _pipeline(
+        tmp_path / "cache",
+        applications={
+            "fftw": FFTW(iterations=1, pack_compute=5e-5),
+            "boom": MCB(iterations=2, track_compute=2e-4),
+        },
+    )
+    assert set(fixed.pending_keys()) == failed_keys
+    stats2 = fixed.ensure_all(workers=1)
+    assert stats2["failed"] == 0
+    assert not fixed.pending_keys()
