@@ -29,6 +29,10 @@ Fault-tolerance knobs (mirroring the CLI's): ``REPRO_BENCH_MAX_ATTEMPTS``
 before a hung task's worker is killed, default none), and
 ``REPRO_BENCH_FAILURE_BUDGET`` (permanent failures tolerated before the
 campaign raises, default 0).
+
+Set ``REPRO_BENCH_TELEMETRY=1`` to collect metrics/spans during the
+session campaign and write ``telemetry.json`` next to the cache shards
+(``0`` forces it off; unset defers to ``REPRO_TELEMETRY``).
 """
 
 from __future__ import annotations
@@ -80,6 +84,7 @@ def pipeline() -> ReproductionPipeline:
         max_attempts=int(os.environ.get("REPRO_BENCH_MAX_ATTEMPTS", "2")),
         timeout=float(timeout) if timeout else None,
     )
+    bench_telemetry = os.environ.get("REPRO_BENCH_TELEMETRY")
     pipeline = ReproductionPipeline(
         settings=settings,
         cache_path=cache,
@@ -87,6 +92,7 @@ def pipeline() -> ReproductionPipeline:
         retry=retry,
         failure_budget=int(os.environ.get("REPRO_BENCH_FAILURE_BUDGET", "0")),
         verbose=True,
+        telemetry=None if bench_telemetry is None else bench_telemetry != "0",
     )
     workers = os.environ.get("REPRO_BENCH_WORKERS")
     if workers:

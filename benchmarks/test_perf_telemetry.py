@@ -1,0 +1,68 @@
+"""Telemetry overhead benchmark on the analytic paper campaign.
+
+Runs the full paper catalog through the analytic engine twice — dark and
+with telemetry enabled — from a cold cache each time, takes the best of
+three repeats per mode, and asserts that metrics + span collection costs
+at most 5% of campaign wall time.  The measurement lands in
+``BENCH_telemetry.json`` in the artifact directory so CI runs can be
+compared over time.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+
+REPEATS = 3
+
+
+def _campaign_seconds(enable: bool) -> float:
+    """Wall time of one cold analytic paper campaign."""
+    telemetry.disable()
+    telemetry.reset()
+    with tempfile.TemporaryDirectory() as scratch:
+        pipeline = ReproductionPipeline(
+            settings=PipelineSettings(profile="paper", engine="analytic"),
+            cache_path=Path(scratch) / "cache",
+            telemetry=enable,
+        )
+        start = time.perf_counter()
+        stats = pipeline.ensure_all(workers=1)
+        elapsed = time.perf_counter() - start
+    telemetry.disable()
+    telemetry.reset()
+    assert stats["failed"] == 0
+    return elapsed
+
+
+def test_perf_telemetry_overhead(artifact_dir):
+    dark = min(_campaign_seconds(False) for _ in range(REPEATS))
+    instrumented = min(_campaign_seconds(True) for _ in range(REPEATS))
+
+    delta = instrumented - dark
+    overhead = delta / dark if dark > 0 else 0.0
+    # ≤5% of campaign wall, with a small absolute floor so scheduler jitter
+    # on a sub-second campaign can't fail the run.
+    assert delta <= max(0.05 * dark, 0.1), (
+        f"telemetry overhead {overhead:.1%} ({delta:.3f}s on {dark:.3f}s)"
+    )
+
+    payload = {
+        "engine": "analytic",
+        "profile": "paper",
+        "repeats": REPEATS,
+        "dark_seconds": round(dark, 4),
+        "instrumented_seconds": round(instrumented, 4),
+        "overhead_seconds": round(delta, 4),
+        "overhead_fraction": round(overhead, 4),
+    }
+    path = artifact_dir / "BENCH_telemetry.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\ntelemetry overhead {overhead:+.1%} "
+        f"({dark:.3f}s dark → {instrumented:.3f}s instrumented)\n"
+        f"[artifact saved to {path}]"
+    )

@@ -82,6 +82,13 @@ def main() -> int:
         default=0,
         help="permanent failures tolerated before the campaign errors out",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        default=None,
+        help="collect metrics/spans and write telemetry.json next to the "
+        "shards (default: the REPRO_TELEMETRY env var)",
+    )
     args = parser.parse_args()
 
     start = time.time()
@@ -100,6 +107,7 @@ def main() -> int:
         ),
         failure_budget=args.failure_budget,
         verbose=True,
+        telemetry=args.telemetry,
     )
     stats = pipeline.ensure_all()
     print(
@@ -108,6 +116,8 @@ def main() -> int:
         f"{stats['failed']} failed, {stats['workers']} worker(s)); "
         f"cache at {pipeline.cache_path}"
     )
+    if stats.get("telemetry_report"):
+        print(f"telemetry report at {stats['telemetry_report']}")
     if stats["failed"]:
         print(
             f"warning: {stats['failed']} hole(s) within the failure budget; "

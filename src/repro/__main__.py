@@ -1,8 +1,17 @@
 """``python -m repro`` — delegates to the CLI."""
 
+import os
 import sys
 
 from .cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pipe (e.g. ``| head``) closed early: exit quietly with
+        # the conventional SIGPIPE status instead of a traceback.  stdout is
+        # replaced first so interpreter shutdown doesn't re-raise on flush.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 128 + 13
+    sys.exit(code)

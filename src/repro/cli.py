@@ -7,6 +7,9 @@ Examples::
     repro fig6 --profile quick
     repro campaign --workers 4           # run the whole campaign in parallel
     repro campaign --engine analytic     # closed-form M/G/1 campaign, seconds
+    repro campaign --telemetry --json    # machine-readable stats + telemetry.json
+    repro telemetry --cache results/cache          # last campaign's metrics/spans
+    repro telemetry --trace-out trace.json         # Chrome trace for Perfetto
     repro table1 --cache results/cache
     repro predict fftw milc --cache results/cache
     repro report --cache results/cache
@@ -15,9 +18,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
+from . import telemetry as telemetry_mod
 from .analysis import (
     render_fig6,
     render_fig7_series,
@@ -45,6 +51,8 @@ _COMMON_DEFAULTS = {
     "task_timeout": None,
     "retry_backoff": 0.1,
     "failure_budget": 0,
+    "telemetry": None,
+    "json": False,
 }
 
 
@@ -128,6 +136,29 @@ def build_parser() -> argparse.ArgumentParser:
         "errors out; failures within budget leave holes plus a "
         "failure_report.json next to the shards (default 0)",
     )
+    common.add_argument(
+        "--telemetry",
+        dest="telemetry",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="collect metrics/spans during campaigns and write telemetry.json "
+        "next to the cache shards (purely observational: products are "
+        "bit-identical either way; default: the REPRO_TELEMETRY env var)",
+    )
+    common.add_argument(
+        "--no-telemetry",
+        dest="telemetry",
+        action="store_false",
+        default=argparse.SUPPRESS,
+        help="force telemetry off, overriding REPRO_TELEMETRY",
+    )
+    common.add_argument(
+        "--json",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="emit machine-readable JSON on stdout (human/progress lines go "
+        "to stderr, so the output pipes cleanly into other tools)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -141,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     command("calibrate", "idle-switch service estimate (µ, Var(S))")
     command("campaign", "run every pending experiment of the evaluation")
+
+    tele = command("telemetry", "render the last campaign's telemetry report")
+    tele.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="also write the span records as Chrome trace_event JSON "
+        "(open in Perfetto: https://ui.perfetto.dev)",
+    )
 
     impact = command("impact", "probe one application's signature")
     impact.add_argument("app", help="application name (fftw, lulesh, mcb, milc, vpfft, amg)")
@@ -191,6 +230,7 @@ def _pipeline(args: argparse.Namespace) -> ReproductionPipeline:
         ),
         failure_budget=args.failure_budget,
         verbose=True,
+        telemetry=args.telemetry,
     )
 
 
@@ -253,7 +293,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for key, value in _COMMON_DEFAULTS.items():
         if not hasattr(args, key):
             setattr(args, key, value)
+    if args.telemetry is True:
+        telemetry_mod.enable()
+    elif args.telemetry is False:
+        telemetry_mod.disable()
     pipeline = _pipeline(args)
+    # With --json, stdout carries only the JSON document; human summaries
+    # join the progress lines on stderr.
+    human = sys.stderr if args.json else sys.stdout
 
     if args.command == "campaign":
         stats = pipeline.ensure_all()
@@ -262,14 +309,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{stats['cached']} cached, {stats['failed']} failed, "
             f"{stats['total']} total products "
             f"in {stats['elapsed']:.1f}s with {stats['workers']} worker(s); "
-            f"cache at {pipeline.cache_path}"
+            f"cache at {pipeline.cache_path}",
+            file=human,
         )
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
         if stats["failed"]:
             print(
                 f"warning: campaign finished with {stats['failed']} hole(s); "
-                f"see {stats['failure_report']}"
+                f"see {stats['failure_report']}",
+                file=human,
             )
             return 2
+    elif args.command == "telemetry":
+        from .telemetry.report import (
+            TELEMETRY_REPORT_NAME,
+            load_report,
+            render_report,
+            trace_from_report,
+        )
+
+        path = (
+            pipeline.cache_path / TELEMETRY_REPORT_NAME
+            if pipeline.cache_path is not None
+            else None
+        )
+        if path is None or not path.exists():
+            print(
+                f"no telemetry report at {path}; "
+                "run `repro campaign --telemetry` first",
+                file=sys.stderr,
+            )
+            return 1
+        document = load_report(path)
+        if args.trace_out:
+            trace = trace_from_report(document)
+            Path(args.trace_out).write_text(json.dumps(trace) + "\n")
+            print(
+                f"wrote Chrome trace ({len(trace['traceEvents'])} events) to "
+                f"{args.trace_out} — open in https://ui.perfetto.dev",
+                file=sys.stderr,
+            )
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(render_report(document))
     elif args.command == "calibrate":
         estimate = pipeline.calibration()
         print(

@@ -44,7 +44,7 @@ SHARD_FORMAT = 2
 
 #: Files inside the cache directory that are not shards (never loaded,
 #: never quarantined).
-RESERVED_FILES = frozenset({"failure_report.json"})
+RESERVED_FILES = frozenset({"failure_report.json", "telemetry.json"})
 
 
 def group_of(key: str) -> str:

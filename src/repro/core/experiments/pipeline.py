@@ -27,11 +27,13 @@ migrates automatically on first load.
 from __future__ import annotations
 
 import json
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ... import telemetry
 from ...config import MachineConfig
 from ...core.measurement import ProbeSignature
 from ...engine.base import available_engines, get_engine
@@ -39,6 +41,7 @@ from ...errors import CampaignError, ExperimentError, FailureRecord
 from ...faults import active_fault_plan, current_attempt
 from ...parallel import RetryPolicy, default_worker_count, run_tasks
 from ...queueing import ServiceEstimate
+from ...telemetry.report import TELEMETRY_REPORT_NAME, build_report, write_report
 from ...units import MS
 from ...workloads import CompressionConfig, Workload
 from ..models import PredictionEngine, default_models
@@ -146,7 +149,13 @@ def run_experiment(descriptor: ExperimentDescriptor) -> object:
     plan = active_fault_plan()
     if plan is not None:
         plan.on_experiment(descriptor.key, current_attempt())
-    return get_engine(descriptor.settings.engine).run(descriptor)
+    value = get_engine(descriptor.settings.engine).run(descriptor)
+    # Counted here, not in the driver: the increment happens in whichever
+    # process actually executed the experiment, so worker tallies merge
+    # back through the chunk envelope and the campaign-wide count is exact.
+    if telemetry.enabled():
+        telemetry.registry().counter_inc("pipeline.experiments_completed")
+    return value
 
 
 class _CampaignProgress:
@@ -164,10 +173,13 @@ class _CampaignProgress:
             return
         elapsed = time.time() - self.start
         remaining = (elapsed / self.done) * (self.total - self.done)
+        # Progress/ETA is diagnostics, not output: stderr keeps stdout clean
+        # for machine-readable results (`repro campaign --json | ...`).
         print(
             f"[pipeline] {self.done}/{self.total} {key} · "
             f"elapsed {elapsed:.1f}s · eta {remaining:.1f}s",
             flush=True,
+            file=sys.stderr,
         )
 
 
@@ -199,6 +211,13 @@ class ReproductionPipeline:
             holes before raising :class:`~repro.errors.CampaignError`
             (0 = any permanent failure raises, preserving the historical
             all-or-nothing behavior).
+        telemetry: collect metrics/spans during :meth:`ensure_all` and write
+            ``telemetry.json`` next to the shards.  ``None`` (default)
+            follows the process-wide switch (:func:`repro.telemetry.enabled`,
+            i.e. the ``REPRO_TELEMETRY`` environment variable or an earlier
+            ``enable()``); ``True``/``False`` forces it for this pipeline.
+            Purely observational — products and shards are bit-identical
+            either way.
     """
 
     def __init__(
@@ -214,6 +233,7 @@ class ReproductionPipeline:
         chunksize: int = 1,
         retry: Optional[RetryPolicy] = None,
         failure_budget: int = 0,
+        telemetry: Optional[bool] = None,
     ) -> None:
         from ...cluster import cab_config
 
@@ -236,6 +256,9 @@ class ReproductionPipeline:
         self.verbose = verbose
         self.workers = workers
         self.chunksize = chunksize
+        # Optional[bool]: None defers to the process-wide switch at campaign
+        # time (the parameter shadows the telemetry module in this scope).
+        self.telemetry = telemetry
         directory, legacy = self._resolve_cache_paths(cache_path, legacy_cache)
         self.cache_path = directory
         self.legacy_cache = legacy
@@ -272,13 +295,25 @@ class ReproductionPipeline:
 
     def _memo(self, key: str, compute: Callable[[], object]) -> object:
         if key in self._cache:
+            self._note_cache_hit()
             return self._cache[key]
+        if telemetry.enabled():
+            telemetry.registry().counter_inc("pipeline.cache_misses")
         start = time.time()
         value = compute()
         if self.verbose:
-            print(f"[pipeline] {key}: {time.time() - start:.1f}s", flush=True)
+            print(
+                f"[pipeline] {key}: {time.time() - start:.1f}s",
+                flush=True,
+                file=sys.stderr,
+            )
         self._cache.put(key, value)
         return value
+
+    @staticmethod
+    def _note_cache_hit() -> None:
+        if telemetry.enabled():
+            telemetry.registry().counter_inc("pipeline.cache_hits")
 
     @property
     def app_names(self) -> List[str]:
@@ -428,6 +463,7 @@ class ReproductionPipeline:
         """% degradation of one app under one CompressionB config (Fig. 7 point)."""
         key = self._key(f"degradation/{name}/{config.label}")
         if key in self._cache:
+            self._note_cache_hit()
             return float(self._cache[key])  # type: ignore[arg-type]
         descriptor = self._degradation_descriptor(name, config)
         return float(self._memo(key, lambda: run_experiment(descriptor)))  # type: ignore[arg-type]
@@ -446,6 +482,7 @@ class ReproductionPipeline:
         """Measured % slowdown of ``measured`` co-running with ``other``."""
         key = self._key(f"pair/{measured}/{other}")
         if key in self._cache:
+            self._note_cache_hit()
             return float(self._cache[key])  # type: ignore[arg-type]
         descriptor = self._pair_descriptor(measured, other)
         return float(self._memo(key, lambda: run_experiment(descriptor)))  # type: ignore[arg-type]
@@ -523,6 +560,8 @@ class ReproductionPipeline:
             Campaign stats: total/executed/cached/failed product counts,
             elapsed seconds, worker count, retry count, and the failure
             records (as dicts) with the report path, if one was written.
+            With telemetry on, ``telemetry_report`` holds the path of the
+            ``telemetry.json`` written next to the shards.
 
         Raises:
             CampaignError: the calibration failed permanently (everything
@@ -533,18 +572,41 @@ class ReproductionPipeline:
             count = default_worker_count()
         chunk = chunksize if chunksize is not None else self.chunksize
         budget = failure_budget if failure_budget is not None else self.failure_budget
+        telemetry_on = self.telemetry if self.telemetry is not None else telemetry.enabled()
+        if telemetry_on:
+            telemetry.enable()
 
         start = time.time()
         pending = set(self.pending_keys())
         progress = _CampaignProgress(len(pending), self.verbose)
         failures: List[FailureRecord] = []
         transients: List[FailureRecord] = []
+        phases: Dict[str, Dict[str, float]] = {}
+
+        def staged(name: str, run: Callable[[], object]) -> object:
+            """Run one dependency stage under a span, tracking wall/CPU."""
+            wall0, cpu0 = time.time(), time.process_time()
+            with telemetry.span(f"stage:{name}", "pipeline", engine=self.settings.engine):
+                result = run()
+            phases[name] = {
+                "wall": time.time() - wall0,
+                "cpu": time.process_time() - cpu0,
+            }
+            return result
 
         if self._key("calibration") in pending:
             calibration = self._calibration_descriptor()
-            report = self._run_stage([calibration], 1, 1, progress, failures, transients)
+            report = staged(
+                "calibration",
+                lambda: self._run_stage(
+                    [calibration], 1, 1, progress, failures, transients
+                ),
+            )
             if report is not None and report.failures:
                 self._write_failure_report(failures, transients, start, count)
+                self._write_telemetry_report(
+                    telemetry_on, phases, self._campaign_meta(count, start, failures, transients), start
+                )
                 raise CampaignError(
                     "calibration failed permanently — no experiment can run "
                     "without it: " + failures[-1].describe(),
@@ -566,7 +628,10 @@ class ReproductionPipeline:
             for name in self.app_names
             if self._key(f"baseline/{name}") in pending
         )
-        self._run_stage(stage_one, count, chunk, progress, failures, transients)
+        staged(
+            "measurements",
+            lambda: self._run_stage(stage_one, count, chunk, progress, failures, transients),
+        )
 
         # Stage two only builds descriptors whose baseline actually landed;
         # dependents of a failed baseline become dependency records, not runs.
@@ -591,10 +656,16 @@ class ReproductionPipeline:
                     stage_two.append(self._pair_descriptor(measured, other))
                 else:
                     failures.append(self._dependency_record(key, "pair", measured))
-        self._run_stage(stage_two, count, chunk, progress, failures, transients)
+        staged(
+            "dependents",
+            lambda: self._run_stage(stage_two, count, chunk, progress, failures, transients),
+        )
 
         elapsed = time.time() - start
         report_path = self._write_failure_report(failures, transients, start, count)
+        telemetry_path = self._write_telemetry_report(
+            telemetry_on, phases, self._campaign_meta(count, start, failures, transients), start
+        )
         if len(failures) > budget:
             raise CampaignError(
                 f"{len(failures)} experiment(s) failed permanently, exceeding "
@@ -608,6 +679,7 @@ class ReproductionPipeline:
                 f"[pipeline] campaign complete: {len(pending) - len(failures)} "
                 f"experiment(s){holes} in {elapsed:.1f}s with {count} worker(s)",
                 flush=True,
+                file=sys.stderr,
             )
         return {
             "total": len(self.product_keys()),
@@ -619,7 +691,53 @@ class ReproductionPipeline:
             "workers": count,
             "failure_records": [record.to_dict() for record in failures],
             "failure_report": str(report_path) if report_path else None,
+            "telemetry_report": str(telemetry_path) if telemetry_path else None,
         }
+
+    def _campaign_meta(
+        self,
+        workers: int,
+        start: float,
+        failures: List[FailureRecord],
+        transients: List[FailureRecord],
+    ) -> Dict[str, object]:
+        return {
+            "engine": self.settings.engine,
+            "profile": self.settings.profile,
+            "workers": workers,
+            "elapsed": time.time() - start,
+            "failed": len(failures),
+            "retried": len(transients),
+        }
+
+    def _write_telemetry_report(
+        self,
+        active: bool,
+        phases: Dict[str, Dict[str, float]],
+        campaign: Dict[str, object],
+        start: float,
+    ) -> Optional[Path]:
+        """Write ``telemetry.json`` next to the shards (telemetry-on only).
+
+        Records the enclosing ``campaign`` span first so the trace always
+        has its root, then snapshots the merged driver+worker telemetry.
+        Memory-only caches skip the write, like the failure report.
+        """
+        if not active or self._cache.directory is None:
+            return None
+        telemetry.tracer().record(
+            "campaign",
+            start,
+            time.time() - start,
+            category="pipeline",
+            args={"engine": self.settings.engine, "profile": self.settings.profile},
+        )
+        snap = telemetry.snapshot()
+        document = build_report(
+            snap["metrics"], snap["spans"], phases=phases, campaign=campaign
+        )
+        self._cache.directory.mkdir(parents=True, exist_ok=True)
+        return write_report(self._cache.directory / TELEMETRY_REPORT_NAME, document)
 
     def _dependency_record(self, key: str, kind: str, app: str) -> FailureRecord:
         return FailureRecord(
@@ -660,12 +778,12 @@ class ReproductionPipeline:
             record.kind = by_key[record.key].kind
             failures.append(record)
             if self.verbose:
-                print(f"[pipeline] FAILED {record.describe()}", flush=True)
+                print(f"[pipeline] FAILED {record.describe()}", flush=True, file=sys.stderr)
         for record in report.transients:
             record.kind = by_key[record.key].kind
             transients.append(record)
             if self.verbose:
-                print(f"[pipeline] retrying {record.describe()}", flush=True)
+                print(f"[pipeline] retrying {record.describe()}", flush=True, file=sys.stderr)
         return report
 
     def _write_failure_report(

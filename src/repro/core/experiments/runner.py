@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+from ... import telemetry
 from ...cluster import Machine, Placement
 from ...config import MachineConfig
 from ...errors import ExperimentError
@@ -132,4 +133,35 @@ def execute(
     result.events = machine.sim.events_executed
     result.wall_seconds = time.perf_counter() - wall_start
     result.counters = machine.sim.counters()
+    if telemetry.enabled():
+        _record_run_telemetry(result, [spec.name for spec in specs])
     return result
+
+
+def _record_run_telemetry(result: RunResult, job_names: Sequence[str]) -> None:
+    """Fold one run's pull-based kernel counters into the metrics registry.
+
+    Instrumentation happens here, at run granularity, rather than inside
+    the kernel's per-event loop: the simulator already accumulates its own
+    tallies for free, so telemetry costs one harvest per experiment.
+    """
+    registry = telemetry.registry()
+    registry.counter_inc("sim.runs")
+    registry.counter_inc("sim.events", float(result.events))
+    registry.counter_inc("sim.wall_seconds", result.wall_seconds)
+    registry.gauge_max("sim.max_pending", result.counters.get("kernel.max_pending", 0.0))
+    registry.observe("sim.switch_utilization", result.true_utilization)
+    registry.observe("sim.run_wall_seconds", result.wall_seconds)
+    for name, value in result.counters.items():
+        # Component tallies (nic.packets, switch0.served, ...) become
+        # campaign-wide counters; the kernel's own snapshot keys are
+        # already covered above.
+        if not name.startswith("kernel."):
+            registry.counter_inc(f"sim.{name}", float(value))
+    telemetry.tracer().record(
+        "sim.run",
+        time.time() - result.wall_seconds,
+        result.wall_seconds,
+        category="sim",
+        args={"jobs": ",".join(job_names), "events": result.events},
+    )

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..config import MachineConfig
 from ..core.measurement import LatencyCollector, LatencyHistogram
 from ..errors import AnalyticModelError, ExperimentError
@@ -155,11 +156,37 @@ class AnalyticEngine(ExperimentEngine):
     _bisection_steps = 60
     _max_iterations = 500
     _tolerance = 1e-12
+    _solve_count = 0
+    _iteration_count = 0
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def run(self, descriptor: "ExperimentDescriptor") -> object:
+        # Per-inner-solve counts accumulate on plain ints and flush to the
+        # registry once per product: _solve_rho runs tens of times per
+        # product, and per-call registry traffic is measurable campaign
+        # overhead (the ≤5% budget in benchmarks/test_perf_telemetry.py).
+        self._solve_count = 0
+        self._iteration_count = 0
+        with telemetry.span(f"solve:{descriptor.kind}", "engine", engine=self.name):
+            result = self._dispatch(descriptor)
+        if telemetry.enabled():
+            registry = telemetry.registry()
+            registry.counter_inc(
+                "engine.products", kind=descriptor.kind, engine=self.name
+            )
+            if self._solve_count:
+                registry.counter_inc(
+                    "engine.analytic.solves", float(self._solve_count)
+                )
+                registry.counter_inc(
+                    "engine.analytic.solve_iterations",
+                    float(self._iteration_count),
+                )
+        return result
+
+    def _dispatch(self, descriptor: "ExperimentDescriptor") -> object:
         settings = descriptor.settings
         model = SwitchModel(descriptor.machine_config)
         if descriptor.kind == "calibration":
@@ -241,6 +268,8 @@ class AnalyticEngine(ExperimentEngine):
                 low = mid
             else:
                 high = mid
+        self._solve_count += 1
+        self._iteration_count += self._bisection_steps
         return 0.5 * (low + high)
 
     def _solve(
@@ -287,18 +316,25 @@ class AnalyticEngine(ExperimentEngine):
         Gauss–Seidel over the two monotone best-response curves.
         """
         rho_first = rho_second = 0.0
-        for _ in range(self._max_iterations):
+        for iteration in range(1, self._max_iterations + 1):
             next_first = self._solve_rho(
                 model, first, rho_second, mean_packet, first_label
             )
             next_second = self._solve_rho(
                 model, second, next_first, mean_packet, second_label
             )
-            if (
-                abs(next_first - rho_first) <= self._tolerance
-                and abs(next_second - rho_second) <= self._tolerance
-            ):
+            residual = max(
+                abs(next_first - rho_first), abs(next_second - rho_second)
+            )
+            if residual <= self._tolerance:
                 rho_first, rho_second = next_first, next_second
+                if telemetry.enabled():
+                    registry = telemetry.registry()
+                    registry.counter_inc("engine.analytic.joint_solves")
+                    registry.counter_inc(
+                        "engine.analytic.joint_iterations", float(iteration)
+                    )
+                    registry.observe("engine.analytic.joint_residual", residual)
                 break
             rho_first = 0.5 * (rho_first + next_first)
             rho_second = 0.5 * (rho_second + next_second)

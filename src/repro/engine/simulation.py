@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from .. import telemetry
 from ..errors import ExperimentError
 from ..queueing import ServiceEstimate
 from .base import ExperimentEngine, register_engine
@@ -26,6 +27,15 @@ class SimulationEngine(ExperimentEngine):
     name = "sim"
 
     def run(self, descriptor: "ExperimentDescriptor") -> object:
+        with telemetry.span(f"solve:{descriptor.kind}", "engine", engine=self.name):
+            result = self._dispatch(descriptor)
+        if telemetry.enabled():
+            telemetry.registry().counter_inc(
+                "engine.products", kind=descriptor.kind, engine=self.name
+            )
+        return result
+
+    def _dispatch(self, descriptor: "ExperimentDescriptor") -> object:
         # Imported here, not at module top: these experiment modules are
         # themselves reachable from repro.core.experiments' package import,
         # and this engine module only loads lazily via get_engine().

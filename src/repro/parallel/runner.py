@@ -28,7 +28,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from .. import faults
+from .. import faults, telemetry
 from ..errors import ConfigurationError, ExperimentError, FailureRecord
 
 __all__ = [
@@ -152,23 +152,59 @@ class RunReport:
 def _run_chunk(
     function: Callable[[ItemT], ResultT],
     entries: List[Tuple[int, str, int, ItemT]],
-) -> List[Tuple[int, Optional[ResultT], Optional[str]]]:
+    capture_telemetry: bool = False,
+) -> Tuple[List[Tuple[int, Optional[ResultT], Optional[str]]], Optional[dict]]:
     """Worker entry point: run a chunk of ``(index, key, attempt, item)``.
 
     Per-item exceptions are captured as strings so one bad experiment never
     poisons its chunk-mates or the pool; only a hard process death (crash
     fault, segfault, OOM) escapes, surfacing driver-side as a broken pool.
+
+    Returns ``(outcomes, telemetry_payload)``.  With ``capture_telemetry``
+    the worker's registry/tracer are reset at chunk start (discarding any
+    state inherited from a fork) and their delta — per-task spans plus
+    whatever the task function itself recorded — is snapshotted into the
+    envelope for the driver to merge; otherwise the payload is ``None``.
     """
+    if capture_telemetry:
+        telemetry.enable()
+        telemetry.reset()
     outcomes: List[Tuple[int, Optional[ResultT], Optional[str]]] = []
-    for index, _key, attempt, item in entries:
+    for index, key, attempt, item in entries:
         faults.set_current_attempt(attempt)
         try:
-            outcomes.append((index, function(item), None))
+            with telemetry.span(f"task:{key}", "runner", attempt=attempt):
+                outcomes.append((index, function(item), None))
         except Exception as exc:
             outcomes.append((index, None, f"{type(exc).__name__}: {exc}"))
         finally:
             faults.set_current_attempt(1)
-    return outcomes
+    payload = telemetry.snapshot() if capture_telemetry else None
+    return outcomes, payload
+
+
+# ----------------------------------------------------------------------
+# Driver-side telemetry
+# ----------------------------------------------------------------------
+def _record_task_landed() -> None:
+    if telemetry.enabled():
+        telemetry.registry().counter_inc("runner.tasks_completed")
+
+
+def _record_attempt_failure(category: str, terminal: bool, delay: float = 0.0) -> None:
+    """Count one failed attempt: terminal hole vs retried transient."""
+    if not telemetry.enabled():
+        return
+    registry = telemetry.registry()
+    if terminal:
+        registry.counter_inc("runner.tasks_failed", category=category)
+    else:
+        registry.counter_inc("runner.tasks_retried", category=category)
+        if delay > 0:
+            registry.counter_inc("runner.backoff_sleeps")
+            registry.counter_inc("runner.backoff_seconds", delay)
+    if category == "timeout":
+        registry.counter_inc("runner.timeouts")
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +247,9 @@ class _Scheduler:
             self.ready.append(tasks[start : start + chunksize])
         self.in_flight: Dict[Future, Tuple[List[_Task], Optional[float]]] = {}
         self.pool: Optional[ProcessPoolExecutor] = None
+        # Decided once in the driver: workers only pay for telemetry capture
+        # (and ship snapshot envelopes back) when the campaign asked for it.
+        self.capture_telemetry = telemetry.enabled()
 
     # -- pool lifecycle -------------------------------------------------
     def _spawn_pool(self) -> None:
@@ -218,6 +257,8 @@ class _Scheduler:
 
     def _respawn_pool(self) -> None:
         self.report.pool_respawns += 1
+        if telemetry.enabled():
+            telemetry.registry().counter_inc("runner.pool_respawns")
         if self.report.pool_respawns > self.policy.max_respawns:
             raise ExperimentError(
                 f"process pool broke {self.report.pool_respawns} times "
@@ -238,6 +279,7 @@ class _Scheduler:
     # -- outcome bookkeeping --------------------------------------------
     def _land(self, task: _Task, value: object) -> None:
         self.report.results[task.index] = value
+        _record_task_landed()
         if self.on_result is not None:
             self.on_result(task.index, task.key, value)
         del self.tasks[task.index]
@@ -254,10 +296,12 @@ class _Scheduler:
         )
         if task.attempt >= self.policy.max_attempts:
             self.report.failures.append(record)
+            _record_attempt_failure(category, terminal=True)
             del self.tasks[task.index]
             return
         self.report.transients.append(record)
         delay = self.policy.backoff_delay(task.key, task.attempt + 1)
+        _record_attempt_failure(category, terminal=False, delay=delay)
         task.attempt += 1
         self.waiting.append((time.monotonic() + delay, [task]))
 
@@ -305,7 +349,9 @@ class _Scheduler:
                 (task.index, task.key, task.attempt, task.item) for task in chunk
             ]
             try:
-                future = self.pool.submit(_run_chunk, self.function, entries)
+                future = self.pool.submit(
+                    _run_chunk, self.function, entries, self.capture_telemetry
+                )
             except BrokenProcessPool:
                 self.ready.appendleft(chunk)
                 self._recover_from_broken_pool()
@@ -339,13 +385,19 @@ class _Scheduler:
         else:
             self._enforce_timeouts()
 
+    def _chunk_outcomes(self, future: Future) -> List[Tuple[int, object, Optional[str]]]:
+        """Unpack a finished chunk envelope, folding its telemetry delta in."""
+        outcomes, payload = future.result()
+        telemetry.merge_worker(payload)
+        return outcomes
+
     def _process_done(self, done) -> None:
         broken = False
         for future in done:
             chunk, _deadline = self.in_flight.pop(future)
             exc = future.exception()
             if exc is None:
-                for index, value, error in future.result():
+                for index, value, error in self._chunk_outcomes(future):
                     task = self.tasks.get(index)
                     if task is None:
                         continue
@@ -382,7 +434,7 @@ class _Scheduler:
             exc = future.exception()  # blocks briefly; broken futures resolve fast
             del self.in_flight[future]
             if exc is None:
-                for index, value, error in future.result():
+                for index, value, error in self._chunk_outcomes(future):
                     task = self.tasks.get(index)
                     if task is None:
                         continue
@@ -416,7 +468,7 @@ class _Scheduler:
             exc = future.exception()  # wait for the break to propagate
             del self.in_flight[future]
             if exc is None:
-                for index, value, error in future.result():
+                for index, value, error in self._chunk_outcomes(future):
                     task = self.tasks.get(index)
                     if task is None:
                         continue
@@ -453,7 +505,8 @@ def _run_serial(
             faults.set_current_attempt(task.attempt)
             task.started = time.monotonic()
             try:
-                value = function(task.item)  # type: ignore[arg-type]
+                with telemetry.span(f"task:{task.key}", "runner", attempt=task.attempt):
+                    value = function(task.item)  # type: ignore[arg-type]
             except Exception as exc:
                 record = FailureRecord(
                     key=task.key,
@@ -464,16 +517,19 @@ def _run_serial(
                 )
                 if task.attempt >= policy.max_attempts:
                     report.failures.append(record)
+                    _record_attempt_failure("exception", terminal=True)
                     break
                 report.transients.append(record)
                 task.attempt += 1
                 delay = policy.backoff_delay(task.key, task.attempt)
+                _record_attempt_failure("exception", terminal=False, delay=delay)
                 if delay > 0:
                     time.sleep(delay)
                 continue
             finally:
                 faults.set_current_attempt(1)
             report.results[task.index] = value
+            _record_task_landed()
             if on_result is not None:
                 on_result(task.index, task.key, value)
             break
@@ -531,6 +587,10 @@ def run_tasks(
     if not tasks:
         return RunReport()
     serial = (count == 1 or len(tasks) == 1) and policy.timeout is None
+    if telemetry.enabled():
+        registry = telemetry.registry()
+        registry.counter_inc("runner.tasks_submitted", float(len(tasks)))
+        registry.gauge_max("runner.workers", 1.0 if serial else float(count))
     if serial:
         return _run_serial(function, tasks, policy, on_result)
     return _Scheduler(function, tasks, count, chunksize, policy, on_result).run()

@@ -69,6 +69,7 @@ class Simulator:
         self._heap: List[Tuple[float, int, Callable[..., Any], Tuple[Any, ...]]] = []
         self._sequence = 0
         self._events_executed = 0
+        self._max_pending = 0
         self._running = False
         self._counter_probes: Dict[str, Callable[[], float]] = {}
 
@@ -89,6 +90,11 @@ class Simulator:
     def pending(self) -> int:
         """Number of scheduled (possibly cancelled) entries in the heap."""
         return len(self._heap)
+
+    @property
+    def max_pending(self) -> int:
+        """High-water mark of the event heap (peak queue depth)."""
+        return self._max_pending
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -114,6 +120,7 @@ class Simulator:
         snapshot: Dict[str, float] = {
             "kernel.events": float(self._events_executed),
             "kernel.pending": float(len(self._heap)),
+            "kernel.max_pending": float(self._max_pending),
         }
         for name, probe in self._counter_probes.items():
             snapshot[name] = float(probe())
@@ -132,6 +139,10 @@ class Simulator:
             raise SimulationError(f"cannot schedule with delay {delay!r}")
         self._sequence += 1
         heapq.heappush(self._heap, (self._now + delay, self._sequence, fn, args))
+        # One compare per schedule keeps the queue-depth high-water mark
+        # without any per-event work in the run loop.
+        if len(self._heap) > self._max_pending:
+            self._max_pending = len(self._heap)
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at an absolute simulated time.
@@ -145,6 +156,8 @@ class Simulator:
             )
         self._sequence += 1
         heapq.heappush(self._heap, (time, self._sequence, fn, args))
+        if len(self._heap) > self._max_pending:
+            self._max_pending = len(self._heap)
 
     def schedule_cancellable(
         self, delay: float, fn: Callable[..., Any], *args: Any
@@ -155,6 +168,8 @@ class Simulator:
         entry = ScheduledCall(self._now + delay, fn, args)
         self._sequence += 1
         heapq.heappush(self._heap, (entry.time, self._sequence, entry._run, ()))
+        if len(self._heap) > self._max_pending:
+            self._max_pending = len(self._heap)
         return entry
 
     # ------------------------------------------------------------------

@@ -1,0 +1,220 @@
+"""Dependency-free metrics: counters, gauges, and histograms with labels.
+
+A :class:`MetricsRegistry` is a thread-safe, process-local store of named
+instruments.  Three instrument families cover everything the reproduction
+stack needs to observe about itself:
+
+* **counters** — monotone tallies (events executed, cache hits, retries);
+* **gauges** — last-known or high-water values (max heap depth, workload
+  wait fractions);
+* **histograms** — value distributions in fixed log₂ buckets (switch
+  utilization samples, fixed-point residuals, per-run wall seconds).
+
+Every instrument is addressed by a name plus optional labels, serialized
+into a stable ``name{key=value,...}`` string, which makes a registry
+snapshot a plain JSON object — picklable across the process pool, mergeable
+across workers, and diff-able across campaigns.
+
+The merge algebra is deliberately associative and commutative (counters
+add, gauges take the max, histograms add bucket-wise and combine extrema),
+so merging N worker snapshots in any order or grouping yields the same
+totals as running everything in one process — a property the test suite
+checks both algebraically and against a real two-worker campaign.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "merge_snapshots",
+    "serialize_key",
+]
+
+#: Snapshot document shape: three JSON objects keyed by serialized names.
+MetricsSnapshot = Dict[str, Dict[str, object]]
+
+#: Histogram bucket clamp: values outside [2^-64, 2^64) land on the edges.
+_BUCKET_MIN = -64
+_BUCKET_MAX = 64
+
+
+def serialize_key(name: str, labels: Mapping[str, object]) -> str:
+    """Stable string address of one instrument: ``name{k=v,...}``.
+
+    Labels are sorted, so the same logical instrument always serializes to
+    the same key no matter the call-site keyword order.
+    """
+    if not labels:
+        return name
+    parts = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{parts}}}"
+
+
+def _bucket_of(value: float) -> str:
+    """Log₂ bucket label of a positive value (``"zero"`` for v <= 0)."""
+    if value <= 0.0 or not math.isfinite(value):
+        return "zero"
+    index = int(math.floor(math.log2(value)))
+    return str(max(_BUCKET_MIN, min(_BUCKET_MAX, index)))
+
+
+def _empty_histogram() -> Dict[str, object]:
+    return {"count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {}}
+
+
+class MetricsRegistry:
+    """A thread-safe store of counters, gauges, and histograms.
+
+    All updates go through methods (no instrument objects to plumb around);
+    the internal state *is* the snapshot shape, so :meth:`snapshot` is a
+    cheap deep copy and :meth:`merge` needs no parsing.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def counter_inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` to a counter (created at zero on first touch)."""
+        key = serialize_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge to ``value`` (last write wins within a process)."""
+        key = serialize_key(name, labels)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def gauge_max(self, name: str, value: float, **labels: object) -> None:
+        """Raise a gauge to ``value`` if it is higher (high-water marks)."""
+        key = serialize_key(name, labels)
+        with self._lock:
+            current = self._gauges.get(key)
+            if current is None or value > current:
+                self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one sample into a histogram."""
+        key = serialize_key(name, labels)
+        with self._lock:
+            state = self._histograms.get(key)
+            if state is None:
+                state = self._histograms[key] = _empty_histogram()
+            state["count"] = int(state["count"]) + 1  # type: ignore[arg-type]
+            state["sum"] = float(state["sum"]) + float(value)  # type: ignore[arg-type]
+            state["min"] = value if state["min"] is None else min(state["min"], value)  # type: ignore[type-var]
+            state["max"] = value if state["max"] is None else max(state["max"], value)  # type: ignore[type-var]
+            buckets: Dict[str, int] = state["buckets"]  # type: ignore[assignment]
+            bucket = _bucket_of(float(value))
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of one counter (0.0 if never touched)."""
+        with self._lock:
+            return self._counters.get(serialize_key(name, labels), 0.0)
+
+    def gauge_value(self, name: str, **labels: object) -> Optional[float]:
+        """Current value of one gauge (``None`` if never set)."""
+        with self._lock:
+            return self._gauges.get(serialize_key(name, labels))
+
+    def histogram_state(self, name: str, **labels: object) -> Dict[str, object]:
+        """A copy of one histogram's state (empty shape if never observed)."""
+        with self._lock:
+            state = self._histograms.get(serialize_key(name, labels))
+            if state is None:
+                return _empty_histogram()
+            copy = dict(state)
+            copy["buckets"] = dict(state["buckets"])  # type: ignore[arg-type]
+            return copy
+
+    def snapshot(self) -> MetricsSnapshot:
+        """JSON-ready copy of everything: counters, gauges, histograms."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    key: {**state, "buckets": dict(state["buckets"])}  # type: ignore[arg-type]
+                    for key, state in self._histograms.items()
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # Merge & reset
+    # ------------------------------------------------------------------
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters add; gauges keep the max; histograms add counts/sums
+        bucket-wise and combine extrema — the same algebra as
+        :func:`merge_snapshots`, so driver-side accumulation over worker
+        deltas is order-independent.
+        """
+        with self._lock:
+            merged = merge_snapshots(self.snapshot(), snapshot)
+            self._counters = merged["counters"]  # type: ignore[assignment]
+            self._gauges = merged["gauges"]  # type: ignore[assignment]
+            self._histograms = merged["histograms"]  # type: ignore[assignment]
+
+    def reset(self) -> None:
+        """Drop every instrument (workers call this at chunk start)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def _merge_histogram(
+    left: Mapping[str, object], right: Mapping[str, object]
+) -> Dict[str, object]:
+    buckets: Dict[str, int] = dict(left.get("buckets", {}))  # type: ignore[arg-type]
+    for bucket, count in right.get("buckets", {}).items():  # type: ignore[union-attr]
+        buckets[bucket] = buckets.get(bucket, 0) + count
+    extrema = [v for v in (left.get("min"), right.get("min")) if v is not None]
+    maxima = [v for v in (left.get("max"), right.get("max")) if v is not None]
+    return {
+        "count": int(left.get("count", 0)) + int(right.get("count", 0)),  # type: ignore[arg-type]
+        "sum": float(left.get("sum", 0.0)) + float(right.get("sum", 0.0)),  # type: ignore[arg-type]
+        "min": min(extrema) if extrema else None,
+        "max": max(maxima) if maxima else None,
+        "buckets": buckets,
+    }
+
+
+def merge_snapshots(
+    left: Mapping[str, object], right: Mapping[str, object]
+) -> MetricsSnapshot:
+    """Merge two registry snapshots into a new one (pure function).
+
+    Associative and commutative by construction: counters add, gauges take
+    the max, histograms merge bucket-wise.  Inputs are not modified.
+    """
+    counters: Dict[str, float] = dict(left.get("counters", {}))  # type: ignore[arg-type]
+    for key, value in right.get("counters", {}).items():  # type: ignore[union-attr]
+        counters[key] = counters.get(key, 0.0) + value
+    gauges: Dict[str, float] = dict(left.get("gauges", {}))  # type: ignore[arg-type]
+    for key, value in right.get("gauges", {}).items():  # type: ignore[union-attr]
+        current = gauges.get(key)
+        gauges[key] = value if current is None else max(current, value)
+    histograms: Dict[str, Dict[str, object]] = {
+        key: {**state, "buckets": dict(state.get("buckets", {}))}  # type: ignore[arg-type]
+        for key, state in left.get("histograms", {}).items()  # type: ignore[union-attr]
+    }
+    for key, state in right.get("histograms", {}).items():  # type: ignore[union-attr]
+        histograms[key] = _merge_histogram(histograms.get(key, _empty_histogram()), state)
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

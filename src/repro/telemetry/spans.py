@@ -1,0 +1,171 @@
+"""Hierarchical timed spans with Chrome ``trace_event`` export.
+
+A span is one timed region of work — a campaign, a dependency stage, one
+experiment, one engine solve — recorded as a plain dict so span lists are
+picklable (workers ship theirs back through the pool's result envelope) and
+JSON-serializable (they ride inside ``telemetry.json``).
+
+Record shape::
+
+    {"name": str, "cat": str, "ts": float, "dur": float,
+     "pid": int, "tid": int, "args": {...}}
+
+``ts`` is wall-clock epoch seconds (shared across processes, so driver and
+worker spans live on one timebase), ``dur`` is seconds.  Nesting is implied
+by time containment within one ``(pid, tid)`` track, which is exactly how
+Chrome's trace viewer and Perfetto reconstruct hierarchy from complete
+(``"ph": "X"``) events.
+
+:func:`chrome_trace` converts a record list into a ``trace_event`` JSON
+document: one process track, one thread row per original process, complete
+events in microseconds rebased to the earliest span — open it at
+https://ui.perfetto.dev or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+
+__all__ = ["SpanTracer", "chrome_trace", "span_summary"]
+
+
+class SpanTracer:
+    """Collects span records for one process (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._records: List[dict] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(
+        self, name: str, category: str = "repro", **args: object
+    ) -> Iterator[None]:
+        """Time a ``with`` block as one span (recorded even on exceptions)."""
+        start = time.time()
+        try:
+            yield
+        finally:
+            self.record(name, start, time.time() - start, category, args or None)
+
+    def record(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        category: str = "repro",
+        args: Optional[Mapping[str, object]] = None,
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+    ) -> None:
+        """Append one finished span."""
+        entry = {
+            "name": name,
+            "cat": category,
+            "ts": float(ts),
+            "dur": max(0.0, float(dur)),
+            "pid": os.getpid() if pid is None else int(pid),
+            "tid": threading.get_native_id() if tid is None else int(tid),
+            "args": dict(args) if args else {},
+        }
+        with self._lock:
+            self._records.append(entry)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (what crosses the process pool)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[dict]:
+        """Picklable copy of every record (args copied shallowly)."""
+        with self._lock:
+            return [dict(record) for record in self._records]
+
+    def merge(self, records: Iterable[Mapping[str, object]]) -> None:
+        """Absorb records from another tracer's snapshot."""
+        with self._lock:
+            self._records.extend(dict(record) for record in records)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def span_summary(records: Iterable[Mapping[str, object]]) -> Dict[str, dict]:
+    """Per-name aggregate: count, total seconds, max seconds.
+
+    This is the human-scale view stored in ``telemetry.json`` alongside the
+    raw records — enough to spot the dominant phase without opening a trace
+    viewer.
+    """
+    summary: Dict[str, dict] = {}
+    for record in records:
+        name = str(record["name"])
+        entry = summary.setdefault(name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        duration = float(record["dur"])
+        entry["count"] += 1
+        entry["total_s"] += duration
+        entry["max_s"] = max(entry["max_s"], duration)
+    return summary
+
+
+def chrome_trace(records: Iterable[Mapping[str, object]]) -> dict:
+    """Build a Chrome ``trace_event`` document from span records.
+
+    All spans are mapped into a single process track (the driver's pid)
+    with one thread row per original ``(pid, tid)`` pair, labelled through
+    ``thread_name`` metadata — worker experiment spans line up under the
+    campaign span on the shared wall-clock timebase.  Timestamps are
+    microseconds rebased to the earliest span; events are ordered by
+    ``(tid, ts)`` so timestamps are monotonic within each thread row.
+    """
+    spans = sorted(records, key=lambda r: (r["pid"], r["tid"], r["ts"]))
+    if not spans:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin = min(float(record["ts"]) for record in spans)
+    display_pid = int(spans[0]["pid"])
+    track_of: Dict[tuple, int] = {}
+    events: List[dict] = []
+    for record in spans:
+        source = (int(record["pid"]), int(record["tid"]))
+        if source not in track_of:
+            track_of[source] = len(track_of) + 1
+            label = (
+                "driver"
+                if source[0] == display_pid and len(track_of) == 1
+                else f"worker pid={source[0]} tid={source[1]}"
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "ts": 0,
+                    "pid": display_pid,
+                    "tid": track_of[source],
+                    "args": {"name": label},
+                }
+            )
+        events.append(
+            {
+                "ph": "X",
+                "name": str(record["name"]),
+                "cat": str(record.get("cat", "repro")),
+                "ts": round((float(record["ts"]) - origin) * 1e6),
+                "dur": round(float(record["dur"]) * 1e6),
+                "pid": display_pid,
+                "tid": track_of[source],
+                "args": dict(record.get("args") or {}),
+            }
+        )
+    # Stable order: metadata first, then complete events by (tid, ts) so
+    # every thread row's timestamps are non-decreasing in file order.
+    events.sort(key=lambda e: (e["tid"], 0 if e["ph"] == "M" else 1, e["ts"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -8,12 +8,12 @@ application; MCB's near-zero share is what makes it immune.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from .. import telemetry
 from ..cluster import Machine
 from ..config import MachineConfig
-from ..errors import ExperimentError
 from ..mpi import MPIWorld
 from ..workloads import Workload
 from .tracer import COMPUTE, SLEEP, WAIT, StateTracer
@@ -23,7 +23,13 @@ __all__ = ["WorkloadProfile", "profile_workload", "render_profile"]
 
 @dataclass(frozen=True)
 class WorkloadProfile:
-    """Aggregated state breakdown of one workload run."""
+    """Aggregated state breakdown of one workload run.
+
+    ``degenerate`` marks a run that produced no traced intervals (e.g. a
+    zero-length workload): every fraction is zero and nothing can be said
+    about the workload's network sensitivity, but the profile is still a
+    well-formed value instead of an exception.
+    """
 
     name: str
     elapsed: float
@@ -31,7 +37,8 @@ class WorkloadProfile:
     compute_fraction: float
     wait_fraction: float
     sleep_fraction: float
-    per_rank_wait: Dict[int, float]
+    per_rank_wait: Dict[int, float] = field(default_factory=dict)
+    degenerate: bool = False
 
     @property
     def comm_bound(self) -> bool:
@@ -50,6 +57,11 @@ def profile_workload(
         config: machine to run on.
         workload: a finite workload (runs to completion).
         tracer: reuse an existing tracer (a fresh one by default).
+
+    A run that produces no traced intervals (a zero-length workload, or a
+    tracer whose total traced time is zero) returns a zeroed profile with
+    ``degenerate=True`` rather than raising — callers sweeping many
+    workloads shouldn't die on one trivial member.
     """
     tracer = tracer if tracer is not None else StateTracer()
     machine = Machine(config)
@@ -60,27 +72,44 @@ def profile_workload(
         tracer=tracer,
     )
     job = world.launch(workload)
-    machine.sim.run_until_event(job.done)
+    with telemetry.span(f"profile:{workload.name}", "trace"):
+        machine.sim.run_until_event(job.done)
     fractions = tracer.fractions()
-    if tracer.interval_count == 0:
-        raise ExperimentError(
-            f"workload {workload.name!r} produced no traced intervals"
-        )
-    return WorkloadProfile(
+    degenerate = tracer.interval_count == 0 or sum(tracer.totals().values()) <= 0
+    profile = WorkloadProfile(
         name=workload.name,
         elapsed=job.elapsed,
         rank_count=world.size,
-        compute_fraction=fractions[COMPUTE],
-        wait_fraction=fractions[WAIT],
-        sleep_fraction=fractions[SLEEP],
-        per_rank_wait={rank: tracer.wait_fraction(rank) for rank in tracer.ranks()},
+        compute_fraction=0.0 if degenerate else fractions[COMPUTE],
+        wait_fraction=0.0 if degenerate else fractions[WAIT],
+        sleep_fraction=0.0 if degenerate else fractions[SLEEP],
+        per_rank_wait={}
+        if degenerate
+        else {rank: tracer.wait_fraction(rank) for rank in tracer.ranks()},
+        degenerate=degenerate,
     )
+    if telemetry.enabled():
+        registry = telemetry.registry()
+        registry.counter_inc("trace.profiles", workload=workload.name)
+        if degenerate:
+            registry.counter_inc("trace.degenerate_profiles", workload=workload.name)
+        else:
+            registry.gauge_set(
+                "trace.wait_fraction", profile.wait_fraction, workload=workload.name
+            )
+            registry.gauge_set(
+                "trace.compute_fraction",
+                profile.compute_fraction,
+                workload=workload.name,
+            )
+    return profile
 
 
 def render_profile(profile: WorkloadProfile, width: int = 40) -> str:
     """ASCII bar chart of a workload's state breakdown."""
+    suffix = " (degenerate: no traced intervals)" if profile.degenerate else ""
     lines = [
-        f"{profile.name}: {profile.elapsed * 1e3:.2f}ms on {profile.rank_count} ranks"
+        f"{profile.name}: {profile.elapsed * 1e3:.2f}ms on {profile.rank_count} ranks{suffix}"
     ]
     for label, fraction in [
         ("compute", profile.compute_fraction),

@@ -92,14 +92,16 @@ def test_cli_profile_unknown_app(tmp_path, capsys):
 
 def test_cli_calibrate_uses_cache(tmp_path, capsys):
     main(_isolated(tmp_path, "--profile", "quick", "calibrate"))
-    first = capsys.readouterr().out
+    first = capsys.readouterr()
     main(_isolated(tmp_path, "--profile", "quick", "calibrate"))
-    second = capsys.readouterr().out
+    second = capsys.readouterr()
     # Identical estimate; the first run simulates, the second must hit the
-    # shard ("[pipeline]" progress lines only appear on real runs).
-    assert first.splitlines()[-1] == second.splitlines()[-1]
-    assert "[pipeline]" in first
-    assert "[pipeline]" not in second
+    # shard ("[pipeline]" progress lines only appear on real runs — and on
+    # stderr, keeping stdout machine-readable).
+    assert first.out.splitlines()[-1] == second.out.splitlines()[-1]
+    assert "[pipeline]" in first.err
+    assert "[pipeline]" not in first.out
+    assert "[pipeline]" not in second.err
 
 
 def test_cli_whatif_runs(tmp_path, capsys, monkeypatch):
@@ -121,3 +123,69 @@ def test_cli_whatif_runs(tmp_path, capsys, monkeypatch):
 def test_cli_whatif_unknown_app(tmp_path, capsys):
     code = main(_isolated(tmp_path, "whatif", "nosuch"))
     assert code == 1
+
+
+@pytest.fixture
+def _clean_telemetry():
+    from repro import telemetry
+
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def test_cli_campaign_json_round_trips(tmp_path, capsys, _clean_telemetry):
+    import json
+
+    code = main(
+        _isolated(
+            tmp_path,
+            "--profile", "quick", "--engine", "analytic", "--workers", "1",
+            "campaign", "--json",
+        )
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    # stdout is pure JSON (progress and summaries live on stderr), so
+    # `repro campaign --json | python -m json.tool` round-trips.
+    stats = json.loads(captured.out)
+    assert stats["failed"] == 0
+    assert stats["executed"] > 0
+    assert "campaign done" in captured.err
+    assert "[pipeline]" in captured.err
+
+
+def test_cli_telemetry_subcommand_renders_and_exports_trace(
+    tmp_path, capsys, _clean_telemetry
+):
+    import json
+
+    code = main(
+        _isolated(
+            tmp_path,
+            "--profile", "quick", "--engine", "analytic", "--workers", "1",
+            "campaign", "--telemetry",
+        )
+    )
+    assert code == 0
+    assert (tmp_path / "cache" / "telemetry.json").exists()
+    capsys.readouterr()
+
+    trace_path = tmp_path / "trace.json"
+    code = main(_isolated(tmp_path, "telemetry", "--trace-out", str(trace_path)))
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "counters:" in out
+    assert "pipeline.experiments_completed" in out
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+
+
+def test_cli_telemetry_subcommand_without_report_fails(
+    tmp_path, capsys, _clean_telemetry
+):
+    code = main(_isolated(tmp_path, "telemetry"))
+    assert code == 1
+    assert "no telemetry report" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    serialize_key,
+)
+
+
+def test_serialize_key_is_stable_under_label_order():
+    assert serialize_key("m", {"a": 1, "b": 2}) == serialize_key("m", {"b": 2, "a": 1})
+    assert serialize_key("m", {}) == "m"
+    assert serialize_key("m", {"k": "v"}) == "m{k=v}"
+
+
+def test_counter_accumulates_and_defaults_to_zero():
+    registry = MetricsRegistry()
+    assert registry.counter_value("hits") == 0.0
+    registry.counter_inc("hits")
+    registry.counter_inc("hits", 2.5)
+    assert registry.counter_value("hits") == 3.5
+
+
+def test_counter_labels_address_distinct_instruments():
+    registry = MetricsRegistry()
+    registry.counter_inc("fail", category="timeout")
+    registry.counter_inc("fail", category="exception")
+    registry.counter_inc("fail", category="timeout")
+    assert registry.counter_value("fail", category="timeout") == 2.0
+    assert registry.counter_value("fail", category="exception") == 1.0
+    assert registry.counter_value("fail") == 0.0  # unlabeled is its own key
+
+
+def test_gauge_set_and_max():
+    registry = MetricsRegistry()
+    assert registry.gauge_value("depth") is None
+    registry.gauge_set("depth", 4.0)
+    registry.gauge_set("depth", 2.0)
+    assert registry.gauge_value("depth") == 2.0  # last write wins
+    registry.gauge_max("peak", 3.0)
+    registry.gauge_max("peak", 1.0)
+    registry.gauge_max("peak", 7.0)
+    assert registry.gauge_value("peak") == 7.0  # high-water mark
+
+
+def test_histogram_tracks_count_sum_extrema_and_buckets():
+    registry = MetricsRegistry()
+    for value in (0.5, 2.0, 3.0, 0.0):
+        registry.observe("util", value)
+    state = registry.histogram_state("util")
+    assert state["count"] == 4
+    assert state["sum"] == pytest.approx(5.5)
+    assert state["min"] == 0.0
+    assert state["max"] == 3.0
+    # log2 buckets: 0.5 -> -1, 2.0 and 3.0 -> 1, 0.0 -> "zero"
+    assert state["buckets"] == {"-1": 1, "1": 2, "zero": 1}
+
+
+def test_snapshot_is_json_ready_and_detached():
+    registry = MetricsRegistry()
+    registry.counter_inc("c")
+    registry.gauge_set("g", 1.0)
+    registry.observe("h", 2.0)
+    snap = registry.snapshot()
+    json.dumps(snap)  # must not raise
+    registry.counter_inc("c")  # later updates must not leak into the copy
+    assert snap["counters"]["c"] == 1.0
+
+
+def test_merge_folds_another_snapshot_in():
+    left, right = MetricsRegistry(), MetricsRegistry()
+    left.counter_inc("c", 1)
+    right.counter_inc("c", 2)
+    left.gauge_max("g", 5.0)
+    right.gauge_max("g", 3.0)
+    left.observe("h", 1.0)
+    right.observe("h", 4.0)
+    left.merge(right.snapshot())
+    assert left.counter_value("c") == 3.0
+    assert left.gauge_value("g") == 5.0
+    state = left.histogram_state("h")
+    assert state["count"] == 2 and state["min"] == 1.0 and state["max"] == 4.0
+
+
+def test_reset_clears_everything():
+    registry = MetricsRegistry()
+    registry.counter_inc("c")
+    registry.gauge_set("g", 1.0)
+    registry.observe("h", 1.0)
+    registry.reset()
+    snap = registry.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_merge_snapshots_is_pure():
+    a = {"counters": {"c": 1.0}, "gauges": {}, "histograms": {}}
+    b = {"counters": {"c": 2.0}, "gauges": {}, "histograms": {}}
+    merged = merge_snapshots(a, b)
+    assert merged["counters"]["c"] == 3.0
+    assert a["counters"]["c"] == 1.0 and b["counters"]["c"] == 2.0

@@ -1,0 +1,125 @@
+"""Span tracer tests, including the Chrome trace_event golden-schema check."""
+
+import json
+
+import pytest
+
+from repro.telemetry.spans import SpanTracer, chrome_trace, span_summary
+
+
+def _sample_records():
+    """A driver + two-worker span set, like a small campaign produces."""
+    tracer = SpanTracer()
+    tracer.record("campaign", 100.0, 10.0, category="pipeline", pid=1000, tid=1)
+    tracer.record("stage:measurements", 100.5, 4.0, category="pipeline", pid=1000, tid=1)
+    tracer.record("task:impact/fftw", 101.0, 1.5, category="runner", pid=2000, tid=7)
+    tracer.record("task:impact/mcb", 101.2, 1.0, category="runner", pid=2001, tid=9)
+    tracer.record(
+        "solve:impact", 101.1, 1.2, category="engine",
+        args={"engine": "sim"}, pid=2000, tid=7,
+    )
+    return tracer.snapshot()
+
+
+def test_span_contextmanager_records_duration_and_args():
+    tracer = SpanTracer()
+    with tracer.span("work", "test", key="value"):
+        pass
+    records = tracer.snapshot()
+    assert len(records) == 1
+    record = records[0]
+    assert record["name"] == "work"
+    assert record["cat"] == "test"
+    assert record["dur"] >= 0.0
+    assert record["args"] == {"key": "value"}
+
+
+def test_span_records_even_when_the_block_raises():
+    tracer = SpanTracer()
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    assert len(tracer) == 1
+    assert tracer.snapshot()[0]["name"] == "doomed"
+
+
+def test_merge_absorbs_worker_records():
+    driver, worker = SpanTracer(), SpanTracer()
+    driver.record("campaign", 0.0, 5.0)
+    worker.record("task:x", 1.0, 2.0, pid=999, tid=3)
+    driver.merge(worker.snapshot())
+    assert len(driver) == 2
+    assert {r["name"] for r in driver.snapshot()} == {"campaign", "task:x"}
+
+
+def test_span_summary_aggregates_by_name():
+    summary = span_summary(_sample_records())
+    assert summary["campaign"]["count"] == 1
+    assert summary["campaign"]["total_s"] == pytest.approx(10.0)
+    assert summary["task:impact/fftw"]["max_s"] == pytest.approx(1.5)
+
+
+# ----------------------------------------------------------------------
+# Golden schema: the emitted Chrome trace must be loadable by Perfetto
+# ----------------------------------------------------------------------
+def test_chrome_trace_golden_schema():
+    trace = chrome_trace(_sample_records())
+
+    # The document round-trips as JSON.
+    document = json.loads(json.dumps(trace))
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    events = document["traceEvents"]
+    assert events, "trace must not be empty"
+
+    # Every event carries the required trace_event keys.
+    for event in events:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in event, f"event missing {key!r}: {event}"
+        assert event["ph"] in ("X", "M")
+        if event["ph"] == "X":
+            assert "dur" in event and event["dur"] >= 0
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+
+    # Timestamps are monotonic (non-decreasing) within each tid track.
+    last_ts = {}
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        tid = event["tid"]
+        assert event["ts"] >= last_ts.get(tid, 0)
+        last_ts[tid] = event["ts"]
+
+    # All events live in one display process; each source (pid, tid) got a
+    # thread row labelled via thread_name metadata.
+    pids = {event["pid"] for event in events}
+    assert len(pids) == 1
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert {e["name"] for e in metadata} == {"thread_name"}
+    assert len(metadata) == 3  # driver + two worker (pid, tid) sources
+    labels = {e["args"]["name"] for e in metadata}
+    assert "driver" in labels
+    assert any(label.startswith("worker") for label in labels)
+
+    # Timestamps are rebased: the earliest span starts at ts == 0.
+    assert min(e["ts"] for e in events if e["ph"] == "X") == 0
+
+
+def test_chrome_trace_of_nothing_is_a_valid_empty_document():
+    trace = chrome_trace([])
+    assert trace["traceEvents"] == []
+    json.dumps(trace)
+
+
+def test_worker_spans_nest_inside_the_campaign_span_timewise():
+    # Perfetto infers hierarchy from time containment: every task/solve span
+    # must lie within the campaign span's [ts, ts+dur] window.
+    records = _sample_records()
+    trace = chrome_trace(records)
+    events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    campaign = next(e for e in events if e["name"] == "campaign")
+    window = (campaign["ts"], campaign["ts"] + campaign["dur"])
+    for event in events:
+        if event is campaign:
+            continue
+        assert window[0] <= event["ts"]
+        assert event["ts"] + event["dur"] <= window[1]

@@ -6,9 +6,19 @@ from repro.cluster import Machine, PerSocketPlacement, small_test_config
 from repro.mpi import MPIWorld
 from repro.trace import StateTracer
 from repro.trace.profile import profile_workload, render_profile
-from repro.workloads import FFTW, MCB
+from repro.workloads import FFTW, MCB, Workload
 
 CFG = small_test_config()
+
+
+class _Noop(Workload):
+    """A zero-length workload: every rank finishes without doing anything."""
+
+    name = "noop"
+
+    def build(self, ctx):
+        return None
+        yield  # pragma: no cover - makes build a generator function
 
 
 def test_mcb_profile_is_compute_dominated():
@@ -66,3 +76,22 @@ def test_render_profile_text():
     assert "mcb" in text
     assert "compute" in text and "wait" in text
     assert "%" in text
+
+
+def test_zero_length_run_yields_degenerate_profile():
+    # Regression: a run with no traced intervals used to raise instead of
+    # returning a well-formed (zeroed) profile.
+    profile = profile_workload(CFG, _Noop())
+    assert profile.degenerate
+    assert profile.compute_fraction == 0.0
+    assert profile.wait_fraction == 0.0
+    assert profile.sleep_fraction == 0.0
+    assert profile.per_rank_wait == {}
+    assert not profile.comm_bound
+    assert "degenerate" in render_profile(profile)
+
+
+def test_normal_profile_is_not_degenerate():
+    profile = profile_workload(CFG, MCB(iterations=1, track_compute=1e-4))
+    assert not profile.degenerate
+    assert "degenerate" not in render_profile(profile)
