@@ -1,0 +1,128 @@
+"""Batch prediction throughput benchmark.
+
+Builds a 6-app × 40-config synthetic catalog (the paper's full evaluation
+shape), fits all four models, and scores a large replicated request list
+two ways: one ``PredictionEngine.predict`` call per triple (the scalar
+path, which recomputes the catalog match per call) and one
+``predict_batch`` call (match once per distinct co-runner, then matrix
+gathers).  Asserts the batch path is at least 5× faster and that the two
+paths agree exactly, then lands the measurement in
+``BENCH_predict.json``.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.core.experiments import CompressionObservation
+from repro.core.experiments.impact import ImpactResult
+from repro.core.measurement import ProbeSignature
+from repro.core.models import PredictionEngine, default_models
+from repro.queueing import ServiceEstimate, sojourn_from_utilization
+from repro.workloads import CompressionConfig
+
+CAL = ServiceEstimate(mean=1e-6, variance=1e-13, minimum=0.8e-6, sample_count=200)
+APPS = ("fftw", "lulesh", "mcb", "milc", "vpfft", "amg")
+CONFIGS = 40
+REPLICAS = 12  # each (app, other, model) triple appears this many times
+REPEATS = 3
+REQUIRED_SPEEDUP = 5.0
+
+
+def _signature(rho: float, seed: int) -> ProbeSignature:
+    target_mean = sojourn_from_utilization(rho, CAL.rate, CAL.variance)
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(target_mean, target_mean * 0.05, 300).clip(1e-9)
+    return ProbeSignature.from_samples(samples, CAL)
+
+
+def _engine() -> PredictionEngine:
+    rhos = np.linspace(0.05, 0.9, CONFIGS)
+    observations = [
+        CompressionObservation(
+            config=CompressionConfig(
+                partners=(i % 8) + 1, messages=(i // 8) + 1, sleep_cycles=2.5e5
+            ),
+            impact=ImpactResult(
+                signature=_signature(float(rho), seed=i),
+                true_utilization=float(rho),
+                sim_time=0.01,
+            ),
+        )
+        for i, rho in enumerate(rhos)
+    ]
+    rng = np.random.default_rng(7)
+    degradations = {
+        app: {
+            obs.label: float(100.0 * rho**1.5 + rng.uniform(-2, 2))
+            for obs, rho in zip(observations, rhos)
+        }
+        for app in APPS
+    }
+    signatures = {
+        app: _signature(float(rng.uniform(0.1, 0.85)), seed=1000 + j)
+        for j, app in enumerate(APPS)
+    }
+    return PredictionEngine(
+        observations=observations,
+        degradations=degradations,
+        signatures=signatures,
+        models=default_models(),
+    )
+
+
+def test_perf_predict_batch_speedup(artifact_dir):
+    engine = _engine()
+    requests = [
+        (app, other, model)
+        for app in APPS
+        for other in APPS
+        for model in engine.model_names
+    ] * REPLICAS
+
+    def scalar_pass() -> list:
+        return [engine.predict(app, other, model) for app, other, model in requests]
+
+    def batch_pass() -> list:
+        return [p.predicted for p in engine.predict_batch(requests)]
+
+    # Exactness first: the speedup must be a pure speedup.
+    assert batch_pass() == scalar_pass()
+
+    scalar_seconds = batch_seconds = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        scalar_pass()
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        batch_pass()
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    speedup = scalar_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batch prediction only {speedup:.1f}× faster than scalar "
+        f"({batch_seconds * 1e3:.2f}ms vs {scalar_seconds * 1e3:.2f}ms "
+        f"for {len(requests)} requests)"
+    )
+
+    payload = {
+        "apps": len(APPS),
+        "configs": CONFIGS,
+        "requests": len(requests),
+        "repeats": REPEATS,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "speedup": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "scalar_per_request_us": round(scalar_seconds / len(requests) * 1e6, 3),
+        "batch_per_request_us": round(batch_seconds / len(requests) * 1e6, 3),
+    }
+    path = artifact_dir / "BENCH_predict.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\nbatch prediction: {speedup:.1f}× over scalar "
+        f"({payload['batch_per_request_us']}µs vs "
+        f"{payload['scalar_per_request_us']}µs per request)"
+        f"\n[artifact saved to {path}]"
+    )

@@ -12,6 +12,9 @@ Examples::
     repro telemetry --trace-out trace.json         # Chrome trace for Perfetto
     repro table1 --cache results/cache
     repro predict fftw milc --cache results/cache
+    repro fit --out model.json --cache results/cache  # export fitted models
+    repro predict fftw milc --model model.json        # predict, no cache needed
+    repro serve --model model.json --port 8100        # batch prediction HTTP API
     repro report --cache results/cache
 """
 
@@ -195,6 +198,35 @@ def build_parser() -> argparse.ArgumentParser:
     predict = command("predict", "predict one pairing with all models")
     predict.add_argument("app", help="the application whose slowdown is predicted")
     predict.add_argument("other", help="its co-runner")
+    predict.add_argument(
+        "--model",
+        dest="artifact",
+        metavar="FILE",
+        help="predict from a fitted-model artifact (see `repro fit`) instead "
+        "of the campaign cache; skips the measured-slowdown line",
+    )
+
+    fit = command("fit", "export the fitted-model artifact for serving")
+    fit.add_argument(
+        "--out",
+        default="model.json",
+        metavar="FILE",
+        help="artifact path (checksummed JSON; default model.json)",
+    )
+
+    serve = command("serve", "serve batch predictions over HTTP")
+    serve.add_argument(
+        "--model",
+        dest="artifact",
+        metavar="FILE",
+        help="fitted-model artifact to serve (default: fit from the cache)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8100, help="bind port (default 8100; 0 = ephemeral)"
+    )
 
     profile = command("profile", "trace one application's compute/wait/sleep breakdown")
     profile.add_argument("app", help="application name")
@@ -297,7 +329,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry_mod.enable()
     elif args.telemetry is False:
         telemetry_mod.disable()
-    pipeline = _pipeline(args)
+    # Artifact-backed predict/serve never touch the cache: skip building the
+    # pipeline entirely, so they neither create the cache directory nor
+    # trigger the legacy-cache migration.
+    cache_free = args.command in ("predict", "serve") and getattr(
+        args, "artifact", None
+    )
+    pipeline = None if cache_free else _pipeline(args)
     # With --json, stdout carries only the JSON document; human summaries
     # join the progress lines on stderr.
     human = sys.stderr if args.json else sys.stdout
@@ -387,11 +425,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         print(full_report(pipeline))
     elif args.command == "predict":
-        engine = pipeline.engine()
-        measured = pipeline.pair_slowdown(args.app, args.other)
-        print(f"measured: {measured:.1f}%")
+        if getattr(args, "artifact", None):
+            # Serving path: everything comes from the artifact, no cache —
+            # there is no measured slowdown to compare against.
+            from .serving import load_artifact
+
+            engine = load_artifact(args.artifact).engine()
+        else:
+            engine = pipeline.engine()
+            measured = pipeline.pair_slowdown(args.app, args.other)
+            print(f"measured: {measured:.1f}%")
         for prediction in engine.predict_pair(args.app, args.other):
             print(f"{prediction.model:16s} predicted {prediction.predicted:6.1f}%")
+    elif args.command == "fit":
+        from .serving import save_artifact
+
+        artifact = pipeline.model_artifact()
+        path = save_artifact(artifact, args.out)
+        print(
+            f"wrote fitted-model artifact ({len(artifact.observations)} configs, "
+            f"{len(artifact.signatures)} apps) to {path}",
+            file=human,
+        )
+        if args.json:
+            print(json.dumps({"path": str(path), "metadata": artifact.metadata}))
+    elif args.command == "serve":
+        from .serving import PredictionServer, load_artifact
+
+        # Serving metrics are the server's access log; collect them unless
+        # the user forced telemetry off.
+        if args.telemetry is not False:
+            telemetry_mod.enable()
+        if getattr(args, "artifact", None):
+            artifact = load_artifact(args.artifact)
+        else:
+            artifact = pipeline.model_artifact()
+        server = PredictionServer(artifact, host=args.host, port=args.port)
+        print(
+            f"serving {len(artifact.signatures)} apps × "
+            f"{len(server.engine.model_names)} models on "
+            f"http://{server.server_address[0]}:{server.server_port} "
+            "(endpoints: /healthz /models /predict /predict/batch /metrics)",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            server.server_close()
     elif args.command == "profile":
         from .core.experiments.catalog import paper_applications
         from .trace import profile_workload, render_profile

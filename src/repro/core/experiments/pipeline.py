@@ -510,6 +510,34 @@ class ReproductionPipeline:
             models=default_models(),
         )
 
+    def model_artifact(self):
+        """Freeze this pipeline's model inputs into a serializable artifact.
+
+        The returned :class:`~repro.serving.artifact.ModelArtifact` carries
+        the catalog signatures, degradation tables, impact signatures, and
+        calibration — everything :meth:`engine` fits on — plus provenance
+        metadata, so predictions can be served without the campaign cache.
+        """
+        # Imported lazily: repro.serving imports the models package, which
+        # lives under repro.core — a module-level import would be circular.
+        from ...serving.artifact import ModelArtifact
+
+        return ModelArtifact(
+            observations=self.compression_signatures(),
+            degradations=self.degradation_table(),
+            signatures={
+                name: self.app_impact(name).signature for name in self.app_names
+            },
+            calibration=self.calibration(),
+            metadata={
+                "engine": self.settings.engine,
+                "profile": self.settings.profile,
+                "seed": self.settings.seed,
+                "apps": self.app_names,
+                "catalog_size": len(self.catalog),
+            },
+        )
+
     def prediction_errors(self) -> Dict[str, Dict[Tuple[str, str], float]]:
         """|measured − predicted| per model per ordered pair (Fig. 8)."""
         engine = self.engine()

@@ -9,30 +9,72 @@ resemblance metric:
 * **AverageStDevLT** — largest overlap of the intervals [µ±σ];
 * **PDFLT** — largest histogram mass overlap Σᵢ p_i q_i (the discretized
   ∫ f_B f_Ci of the paper).
+
+Each model reduces to one function, ``_match_index``, mapping a co-runner
+signature to a catalog column of the canonical :class:`FittedTable`; the
+prediction is then a single element read of the apps×configs degradation
+matrix.  Scores are computed as vector operations over the table's
+precomputed state, ties resolve to the first (lowest-label) column, and
+``predict_batch`` reuses the identical match computation per distinct
+signature — so batch output is bit-identical to the scalar path and
+independent of catalog iteration order.
 """
 
 from __future__ import annotations
 
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
 from ...core.measurement import ProbeSignature
+from ...errors import ExperimentError
 from .base import SlowdownModel
 
 __all__ = ["AverageLT", "AverageStDevLT", "PDFLT"]
 
 
-class AverageLT(SlowdownModel):
+class _CatalogMatchModel(SlowdownModel):
+    """Shared select-a-config-then-read-the-table machinery."""
+
+    def _match_index(self, other_signature: ProbeSignature) -> int:
+        """Catalog column this model matches ``other_signature`` to."""
+        raise NotImplementedError
+
+    def predict(self, app: str, other_signature: ProbeSignature) -> float:
+        table = self.table
+        return float(
+            table.deg_matrix[table.app_row(app), self._match_index(other_signature)]
+        )
+
+    def predict_batch(
+        self, pairs: Sequence[Tuple[str, ProbeSignature]]
+    ) -> List[float]:
+        table = self.table
+        if not pairs:
+            return []
+        rows = np.empty(len(pairs), dtype=np.intp)
+        cols = np.empty(len(pairs), dtype=np.intp)
+        matched: dict[int, int] = {}
+        for index, (app, signature) in enumerate(pairs):
+            rows[index] = table.app_row(app)
+            column = matched.get(id(signature))
+            if column is None:
+                column = self._match_index(signature)
+                matched[id(signature)] = column
+            cols[index] = column
+        return [float(value) for value in table.deg_matrix[rows, cols]]
+
+
+class AverageLT(_CatalogMatchModel):
     """Match on mean probe latency."""
 
     name = "AverageLT"
 
-    def predict(self, app: str, other_signature: ProbeSignature) -> float:
-        best = min(
-            self.table.observations,
-            key=lambda obs: abs(obs.impact.signature.mean - other_signature.mean),
-        )
-        return self.table.degradation(app, best.label)
+    def _match_index(self, other_signature: ProbeSignature) -> int:
+        return self.table.closest_mean_index(other_signature)
 
 
-class AverageStDevLT(SlowdownModel):
+class AverageStDevLT(_CatalogMatchModel):
     """Match on the overlap of the µ±σ intervals.
 
     If no configuration's interval intersects the target's (all overlaps
@@ -42,21 +84,20 @@ class AverageStDevLT(SlowdownModel):
 
     name = "AverageStDevLT"
 
-    def predict(self, app: str, other_signature: ProbeSignature) -> float:
-        scored = [
-            (obs.impact.signature.interval_overlap(other_signature), obs)
-            for obs in self.table.observations
-        ]
-        best_overlap, best = max(scored, key=lambda pair: pair[0])
-        if best_overlap <= 0.0:
-            best = min(
-                self.table.observations,
-                key=lambda obs: abs(obs.impact.signature.mean - other_signature.mean),
-            )
-        return self.table.degradation(app, best.label)
+    def _match_index(self, other_signature: ProbeSignature) -> int:
+        table = self.table
+        low, high = other_signature.interval
+        overlaps = np.minimum(table.interval_highs, high) - np.maximum(
+            table.interval_lows, low
+        )
+        np.maximum(overlaps, 0.0, out=overlaps)
+        best = int(np.argmax(overlaps))
+        if overlaps[best] <= 0.0:
+            return table.closest_mean_index(other_signature)
+        return best
 
 
-class PDFLT(SlowdownModel):
+class PDFLT(_CatalogMatchModel):
     """Match on the full latency distribution.
 
     The affinity Σᵢ pᵢ qᵢ can be zero for every configuration when the
@@ -66,15 +107,15 @@ class PDFLT(SlowdownModel):
 
     name = "PDFLT"
 
-    def predict(self, app: str, other_signature: ProbeSignature) -> float:
-        scored = [
-            (obs.impact.signature.pdf_affinity(other_signature), obs)
-            for obs in self.table.observations
-        ]
-        best_affinity, best = max(scored, key=lambda pair: pair[0])
-        if best_affinity <= 0.0:
-            best = min(
-                self.table.observations,
-                key=lambda obs: abs(obs.impact.signature.mean - other_signature.mean),
-            )
-        return self.table.degradation(app, best.label)
+    def _match_index(self, other_signature: ProbeSignature) -> int:
+        table = self.table
+        histogram = other_signature.histogram
+        if histogram.edges.shape != table.edges.shape or not np.allclose(
+            histogram.edges, table.edges
+        ):
+            raise ExperimentError("histograms must share bin edges to be compared")
+        affinities = table.fraction_matrix @ histogram.fractions
+        best = int(np.argmax(affinities))
+        if affinities[best] <= 0.0:
+            return table.closest_mean_index(other_signature)
+        return best

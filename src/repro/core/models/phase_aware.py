@@ -122,9 +122,7 @@ class PhaseAwareQueueModel(QueueModel):
         if weighted > 0:
             correction = other_signature.mean / weighted
             phases = [(weight, mean * correction) for weight, mean in phases]
-        curve = self._curve(app)
-        xs = np.asarray([point[0] for point in curve])
-        ys = np.asarray([point[1] for point in curve])
+        xs, ys = self._curve(app)
         prediction = 0.0
         for weight, phase_mean in phases:
             utilization = utilization_from_sojourn(
@@ -133,6 +131,6 @@ class PhaseAwareQueueModel(QueueModel):
             if self.interpolate:
                 value = float(np.interp(utilization, xs, ys))
             else:
-                value = min(curve, key=lambda point: abs(point[0] - utilization))[1]
+                value = float(ys[self._nearest_column(utilization)])
             prediction += weight * value
         return prediction

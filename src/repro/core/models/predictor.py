@@ -7,7 +7,7 @@ isolation (linear cost) produce predictions for all N² co-run combinations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...core.measurement import ProbeSignature
 from ...errors import ModelError
@@ -86,6 +86,38 @@ class PredictionEngine:
         except KeyError as exc:
             raise ModelError(f"unknown model {model!r}") from exc
         return fitted.predict(app, self.signature_of(other))
+
+    def predict_batch(
+        self, requests: Sequence[Tuple[str, str, str]]
+    ) -> List[PairPrediction]:
+        """Score many ``(app, other, model)`` triples at once.
+
+        Requests are grouped by model and answered by each model's
+        vectorized :meth:`~repro.core.models.base.SlowdownModel.predict_batch`
+        — the match score of a co-runner signature is computed once per
+        distinct signature, then every requesting app's prediction is a
+        gather from the degradation matrix.  Results come back in request
+        order and are numerically identical to calling :meth:`predict` per
+        triple.
+        """
+        requests = list(requests)
+        results: List[Optional[PairPrediction]] = [None] * len(requests)
+        by_model: Dict[str, List[int]] = {}
+        for index, (_app, _other, model) in enumerate(requests):
+            by_model.setdefault(model, []).append(index)
+        for model_name, indices in by_model.items():
+            try:
+                fitted = self.models[model_name]
+            except KeyError as exc:
+                raise ModelError(f"unknown model {model_name!r}") from exc
+            pairs = [
+                (requests[index][0], self.signature_of(requests[index][1]))
+                for index in indices
+            ]
+            for index, predicted in zip(indices, fitted.predict_batch(pairs)):
+                app, other, _model = requests[index]
+                results[index] = PairPrediction(app, other, model_name, predicted)
+        return results  # type: ignore[return-value]
 
     def predict_pair(self, app: str, other: str) -> List[PairPrediction]:
         """All models' predictions for one ordered pairing."""

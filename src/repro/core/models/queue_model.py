@@ -10,12 +10,20 @@ U_B% of the switch queue"; we support both that nearest-configuration rule
 and piecewise-linear interpolation between the two bracketing
 configurations (the default, which removes the catalog's quantization
 noise).
+
+The per-app degradation curves are derived once, at fit time: the catalog's
+utilization vector is sorted (stably, so equal utilizations keep canonical
+label order) and the apps×configs degradation matrix is permuted to match.
+Fitting also validates the calibration up front — an uncalibrated catalog
+(NaN utilization) raises a :class:`~repro.errors.ModelError` naming the
+offending config immediately, instead of blowing up mid-campaign on the
+first ``predict()`` call.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -42,31 +50,77 @@ class QueueModel(SlowdownModel):
         super().__init__()
         self.interpolate = interpolate
 
-    def _curve(self, app: str) -> List[Tuple[float, float]]:
-        """(utilization, degradation) points for ``app``, utilization-sorted."""
-        points = []
-        for obs in self.table.observations:
-            utilization = obs.impact.signature.utilization
-            if math.isnan(utilization):
-                raise ModelError(
-                    "queue model needs calibrated signatures (utilization is NaN); "
-                    "run the impact experiments with a ServiceEstimate"
-                )
-            points.append((utilization, self.table.degradation(app, obs.label)))
-        points.sort(key=lambda pair: pair[0])
-        return points
+    def _prepare(self) -> None:
+        """Validate calibration and build the utilization-sorted curves."""
+        table = self.table
+        missing = np.isnan(table.utilizations)
+        if missing.any():
+            label = table.labels[int(np.argmax(missing))]
+            raise ModelError(
+                f"queue model needs calibrated signatures, but utilization is "
+                f"NaN for config {label!r}; run the impact experiments with a "
+                "ServiceEstimate"
+            )
+        order = np.argsort(table.utilizations, kind="stable")
+        self._xs = table.utilizations[order]
+        self._ys = table.deg_matrix[:, order]
 
-    def predict(self, app: str, other_signature: ProbeSignature) -> float:
+    def _curve(self, app: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``app``'s (utilizations, degradations) arrays, utilization-sorted."""
+        return self._xs, self._ys[self.table.app_row(app)]
+
+    def _target_of(self, other_signature: ProbeSignature) -> float:
         target = other_signature.utilization
         if math.isnan(target):
             raise ModelError("co-runner signature lacks a utilization estimate")
-        curve = self._curve(app)
+        return target
+
+    def _nearest_column(self, target: float) -> int:
+        """Nearest-utilization column of the sorted curve (paper rule).
+
+        Equidistant targets resolve to the lower-utilization config (and,
+        within equal utilizations, the lower label) — the first match in
+        the canonically sorted curve.
+        """
+        return int(np.argmin(np.abs(self._xs - target)))
+
+    def predict(self, app: str, other_signature: ProbeSignature) -> float:
+        target = self._target_of(other_signature)
+        xs, ys = self._curve(app)
         if not self.interpolate:
-            nearest = min(curve, key=lambda pair: abs(pair[0] - target))
-            return nearest[1]
-        xs = np.asarray([pair[0] for pair in curve])
-        ys = np.asarray([pair[1] for pair in curve])
+            return float(ys[self._nearest_column(target)])
         # np.interp clamps outside the measured range, which is what we want:
         # a co-runner lighter than the lightest config predicts that config's
         # degradation rather than extrapolating to negative slowdowns.
         return float(np.interp(target, xs, ys))
+
+    def predict_batch(
+        self, pairs: Sequence[Tuple[str, ProbeSignature]]
+    ) -> List[float]:
+        table = self.table
+        if not pairs:
+            return []
+        rows = np.empty(len(pairs), dtype=np.intp)
+        targets = np.empty(len(pairs), dtype=float)
+        seen: Dict[int, float] = {}
+        for index, (app, signature) in enumerate(pairs):
+            rows[index] = table.app_row(app)
+            target = seen.get(id(signature))
+            if target is None:
+                target = self._target_of(signature)
+                seen[id(signature)] = target
+            targets[index] = target
+        out = np.empty(len(pairs), dtype=float)
+        if not self.interpolate:
+            cols = np.empty(len(pairs), dtype=np.intp)
+            matched = {target: self._nearest_column(target) for target in seen.values()}
+            for index in range(len(pairs)):
+                cols[index] = matched[targets[index]]
+            out[:] = self._ys[rows, cols]
+        else:
+            by_row: Dict[int, List[int]] = {}
+            for index, row in enumerate(rows):
+                by_row.setdefault(int(row), []).append(index)
+            for row, indices in by_row.items():
+                out[indices] = np.interp(targets[indices], self._xs, self._ys[row])
+        return [float(value) for value in out]

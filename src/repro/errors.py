@@ -24,6 +24,7 @@ __all__ = [
     "ExperimentError",
     "AnalyticModelError",
     "ModelError",
+    "ArtifactError",
     "InjectedFault",
     "FailureRecord",
     "FAILURE_CATEGORIES",
@@ -83,6 +84,15 @@ class AnalyticModelError(ExperimentError):
 
 class ModelError(ReproError):
     """A prediction model was queried before being fitted, or misused."""
+
+
+class ArtifactError(ReproError):
+    """A fitted-model artifact is corrupt, truncated, or incompatible.
+
+    Raised by :mod:`repro.serving.artifact` when a file fails the checksum
+    envelope, carries an unknown format version, or lacks required fields —
+    a damaged artifact is rejected loudly, never served from.
+    """
 
 
 class InjectedFault(ReproError):

@@ -1,0 +1,21 @@
+"""Fitted-model artifacts and the batch prediction server.
+
+The campaign measures; this package serves.  A
+:class:`~repro.serving.artifact.ModelArtifact` freezes everything the four
+prediction models need (catalog signatures, degradation tables, impact
+signatures, calibration) into one checksummed JSON file, and
+:class:`~repro.serving.server.PredictionServer` answers single and batch
+prediction requests over plain HTTP — no campaign cache required at
+serving time.
+"""
+
+from .artifact import ARTIFACT_FORMAT, ModelArtifact, load_artifact, save_artifact
+from .server import PredictionServer
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ModelArtifact",
+    "load_artifact",
+    "save_artifact",
+    "PredictionServer",
+]

@@ -1,0 +1,246 @@
+"""A stdlib-only batch prediction server over a fitted artifact.
+
+``repro serve`` loads (or fits) a :class:`~repro.serving.artifact.ModelArtifact`,
+builds a :class:`~repro.core.models.PredictionEngine`, and answers HTTP:
+
+* ``GET  /healthz``        — liveness + artifact metadata.
+* ``GET  /models``         — fitted model names, apps, catalog size.
+* ``GET  /predict``        — one triple via query string
+  (``?app=fftw&other=milc&model=Queue``; ``model`` defaults to all).
+* ``POST /predict``        — same as a JSON body
+  (``{"app": ..., "other": ..., "model": ...}``).
+* ``POST /predict/batch``  — ``{"requests": [[app, other, model], ...]}``,
+  scored in one :meth:`~repro.core.models.PredictionEngine.predict_batch`
+  call (the match computation runs once per distinct co-runner).
+* ``GET  /metrics``        — the telemetry registry's snapshot as JSON.
+
+Requests are served by a :class:`ThreadingHTTPServer`; the engine's fitted
+state is read-only after construction so concurrent reads need no locking.
+With telemetry enabled, every request increments
+``serving.requests{endpoint=...,status=...}`` and lands its latency in the
+``serving.request_seconds{endpoint=...}`` histogram.
+
+Bad inputs map to structured JSON errors: unknown apps/models and missing
+fields are 400s carrying the :class:`~repro.errors.ModelError` message,
+unknown paths are 404s.  The process never dies on a bad request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .. import telemetry
+from ..core.models import PredictionEngine
+from ..errors import ModelError, ReproError
+from .artifact import ModelArtifact
+
+__all__ = ["PredictionServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the server instance hangs off ``self.server``."""
+
+    server: "PredictionServer"  # type: ignore[assignment]
+
+    # Silence the default stderr access log — the serving metrics cover it.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, document: dict, endpoint: str, t0: float) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        # Metrics land before the response bytes: a client that has seen the
+        # reply must also see the request counted.
+        if telemetry.enabled():
+            registry = telemetry.registry()
+            registry.counter_inc(
+                "serving.requests", endpoint=endpoint, status=status
+            )
+            registry.observe(
+                "serving.request_seconds", time.perf_counter() - t0, endpoint=endpoint
+            )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ModelError("request body must be a JSON object")
+        try:
+            document = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict):
+            raise ModelError("request body must be a JSON object")
+        return document
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        t0 = time.perf_counter()
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            self._send_json(200, self.server.health(), "/healthz", t0)
+        elif url.path == "/models":
+            self._send_json(200, self.server.models(), "/models", t0)
+        elif url.path == "/predict":
+            query = parse_qs(url.query)
+            self._predict(
+                {
+                    "app": (query.get("app") or [None])[0],
+                    "other": (query.get("other") or [None])[0],
+                    "model": (query.get("model") or [None])[0],
+                },
+                t0,
+            )
+        elif url.path == "/metrics":
+            self._send_json(200, telemetry.registry().snapshot(), "/metrics", t0)
+        else:
+            self._send_json(
+                404, {"error": f"unknown path {url.path!r}"}, url.path, t0
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        t0 = time.perf_counter()
+        url = urlparse(self.path)
+        if url.path == "/predict":
+            try:
+                body = self._read_body()
+            except ModelError as exc:
+                self._send_json(400, {"error": str(exc)}, "/predict", t0)
+                return
+            self._predict(body, t0)
+        elif url.path == "/predict/batch":
+            self._predict_batch(t0)
+        else:
+            self._send_json(
+                404, {"error": f"unknown path {url.path!r}"}, url.path, t0
+            )
+
+    # ------------------------------------------------------------------
+    def _predict(self, request: dict, t0: float) -> None:
+        app = request.get("app")
+        other = request.get("other")
+        model = request.get("model")
+        if not app or not other:
+            self._send_json(
+                400,
+                {"error": "both 'app' and 'other' are required"},
+                "/predict",
+                t0,
+            )
+            return
+        try:
+            document = self.server.predict_one(str(app), str(other), model)
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)}, "/predict", t0)
+            return
+        self._send_json(200, document, "/predict", t0)
+
+    def _predict_batch(self, t0: float) -> None:
+        try:
+            body = self._read_body()
+            requests = body.get("requests")
+            if not isinstance(requests, list):
+                raise ModelError("'requests' must be a list of [app, other, model]")
+            triples: List[Tuple[str, str, str]] = []
+            for entry in requests:
+                if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                    raise ModelError(
+                        "each request must be an [app, other, model] triple"
+                    )
+                triples.append((str(entry[0]), str(entry[1]), str(entry[2])))
+            document = self.server.predict_batch(triples)
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)}, "/predict/batch", t0)
+            return
+        self._send_json(200, document, "/predict/batch", t0)
+
+
+class PredictionServer(ThreadingHTTPServer):
+    """Serves a fitted prediction engine over HTTP.
+
+    Args:
+        artifact: the fitted-model artifact to serve from.
+        host: bind address (default loopback).
+        port: bind port (0 lets the OS pick one — handy in tests; read the
+            chosen port back from :attr:`server_port`).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self, artifact: ModelArtifact, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.artifact = artifact
+        self.engine: PredictionEngine = artifact.engine()
+        self.started_at = time.time()
+        self._requests_observed = 0
+
+    # ------------------------------------------------------------------
+    # Endpoint documents (thread-safe: fitted state is read-only)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "models": self.engine.model_names,
+            "apps": sorted(self.engine.signatures),
+            "metadata": dict(self.artifact.metadata),
+        }
+
+    def models(self) -> dict:
+        return {
+            "models": self.engine.model_names,
+            "apps": sorted(self.engine.signatures),
+            "catalog_size": len(self.artifact.observations),
+        }
+
+    def predict_one(self, app: str, other: str, model: Optional[str]) -> dict:
+        """One pairing; all models when ``model`` is omitted."""
+        names = [model] if model else self.engine.model_names
+        predictions = self.engine.predict_batch(
+            [(app, other, name) for name in names]
+        )
+        return {
+            "app": app,
+            "other": other,
+            "predictions": {p.model: p.predicted for p in predictions},
+        }
+
+    def predict_batch(self, triples: List[Tuple[str, str, str]]) -> dict:
+        predictions = self.engine.predict_batch(triples)
+        if telemetry.enabled():
+            telemetry.registry().counter_inc(
+                "serving.predictions", amount=float(len(predictions))
+            )
+        return {
+            "predictions": [
+                {
+                    "app": p.app,
+                    "other": p.other,
+                    "model": p.model,
+                    "predicted": p.predicted,
+                }
+                for p in predictions
+            ]
+        }
+
+    # ------------------------------------------------------------------
+    def serve_background(self) -> threading.Thread:
+        """Start serving on a daemon thread (tests and `repro serve`)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread

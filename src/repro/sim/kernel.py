@@ -27,25 +27,47 @@ __all__ = ["Simulator", "ScheduledCall"]
 class ScheduledCall:
     """Handle for a cancellable scheduled callback."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "executed", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]) -> None:
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.time = time
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        self.executed = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
+        """Prevent the callback from running.  Idempotent.
+
+        The owning simulator is told so its live queue-depth accounting
+        (``pending``) excludes this now-dead heap entry; cancelling after
+        the entry already ran (or was already cancelled) changes nothing.
+        """
+        if self.cancelled or self.executed:
+            return
         self.cancelled = True
         self.fn = None  # release references eagerly
         self.args = ()
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def _run(self) -> None:
-        if not self.cancelled:
-            fn = self.fn
-            assert fn is not None
-            fn(*self.args)
+        self.executed = True
+        if self.cancelled:
+            # The dead entry just left the heap; settle the cancelled tally.
+            if self._sim is not None:
+                self._sim._note_cancelled_popped()
+            return
+        fn = self.fn
+        assert fn is not None
+        fn(*self.args)
 
 
 class Simulator:
@@ -70,6 +92,7 @@ class Simulator:
         self._sequence = 0
         self._events_executed = 0
         self._max_pending = 0
+        self._cancelled = 0
         self._running = False
         self._counter_probes: Dict[str, Callable[[], float]] = {}
 
@@ -88,13 +111,31 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (possibly cancelled) entries in the heap."""
-        return len(self._heap)
+        """Number of live scheduled entries (cancelled ones excluded).
+
+        Cancelled :class:`ScheduledCall` entries stay in the heap until
+        their time comes up, but they are dead weight, not queued work —
+        counting them would inflate the queue-depth telemetry.
+        """
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still sitting in the heap."""
+        return self._cancelled
 
     @property
     def max_pending(self) -> int:
-        """High-water mark of the event heap (peak queue depth)."""
+        """High-water mark of live queue depth (cancelled entries excluded)."""
         return self._max_pending
+
+    # Called by ScheduledCall only: keep the live-entry arithmetic in one
+    # place so ``pending`` can never drift from the heap's true contents.
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+
+    def _note_cancelled_popped(self) -> None:
+        self._cancelled -= 1
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -119,7 +160,8 @@ class Simulator:
         """
         snapshot: Dict[str, float] = {
             "kernel.events": float(self._events_executed),
-            "kernel.pending": float(len(self._heap)),
+            "kernel.pending": float(len(self._heap) - self._cancelled),
+            "kernel.cancelled_pending": float(self._cancelled),
             "kernel.max_pending": float(self._max_pending),
         }
         for name, probe in self._counter_probes.items():
@@ -140,9 +182,11 @@ class Simulator:
         self._sequence += 1
         heapq.heappush(self._heap, (self._now + delay, self._sequence, fn, args))
         # One compare per schedule keeps the queue-depth high-water mark
-        # without any per-event work in the run loop.
-        if len(self._heap) > self._max_pending:
-            self._max_pending = len(self._heap)
+        # without any per-event work in the run loop.  Net of cancelled
+        # entries, so max_pending stays a true live-queue-depth mark.
+        depth = len(self._heap) - self._cancelled
+        if depth > self._max_pending:
+            self._max_pending = depth
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at an absolute simulated time.
@@ -156,8 +200,9 @@ class Simulator:
             )
         self._sequence += 1
         heapq.heappush(self._heap, (time, self._sequence, fn, args))
-        if len(self._heap) > self._max_pending:
-            self._max_pending = len(self._heap)
+        depth = len(self._heap) - self._cancelled
+        if depth > self._max_pending:
+            self._max_pending = depth
 
     def schedule_cancellable(
         self, delay: float, fn: Callable[..., Any], *args: Any
@@ -165,11 +210,12 @@ class Simulator:
         """Like :meth:`schedule` but returns a cancellable handle."""
         if delay < 0.0 or math.isnan(delay):
             raise SimulationError(f"cannot schedule with delay {delay!r}")
-        entry = ScheduledCall(self._now + delay, fn, args)
+        entry = ScheduledCall(self._now + delay, fn, args, self)
         self._sequence += 1
         heapq.heappush(self._heap, (entry.time, self._sequence, entry._run, ()))
-        if len(self._heap) > self._max_pending:
-            self._max_pending = len(self._heap)
+        depth = len(self._heap) - self._cancelled
+        if depth > self._max_pending:
+            self._max_pending = depth
         return entry
 
     # ------------------------------------------------------------------

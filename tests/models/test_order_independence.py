@@ -1,0 +1,125 @@
+"""Predictions must not depend on catalog or table iteration order.
+
+The fitting products arrive from a cache (dict order), an engine (campaign
+order), or a deserialized artifact (file order).  The canonical
+:class:`FittedTable` sorts by config label and breaks score ties by label,
+so every permutation of the same products yields the same predictions for
+all four models — including exact-tie catalogs, which historically
+resolved to whichever config happened to be listed first.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import CompressionObservation
+from repro.core.experiments.impact import ImpactResult
+from repro.core.measurement import ProbeSignature
+from repro.core.models import AverageLT, AverageStDevLT, PDFLT, QueueModel
+from repro.queueing import ServiceEstimate, sojourn_from_utilization
+
+CAL = ServiceEstimate(mean=1e-6, variance=1e-13, minimum=0.8e-6, sample_count=200)
+
+
+def _signature(rho, seed, spread=0.05):
+    target_mean = sojourn_from_utilization(rho, CAL.rate, CAL.variance)
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(target_mean, target_mean * spread, 400).clip(1e-9)
+    return ProbeSignature.from_samples(samples, CAL)
+
+
+def _observation(partners, rho, seed):
+    from repro.workloads import CompressionConfig
+
+    return CompressionObservation(
+        config=CompressionConfig(partners=partners, messages=1, sleep_cycles=2.5e5),
+        impact=ImpactResult(
+            signature=_signature(rho, seed), true_utilization=rho, sim_time=0.01
+        ),
+    )
+
+
+def _catalog():
+    observations = [
+        _observation(p, rho, seed)
+        for p, rho, seed in [
+            (1, 0.15, 11),
+            (2, 0.3, 12),
+            (4, 0.45, 13),
+            (6, 0.6, 14),
+            (8, 0.75, 15),
+        ]
+    ]
+    degradations = {
+        "alpha": {obs.label: 5.0 * (i + 1) for i, obs in enumerate(observations)},
+        "beta": {obs.label: 3.0 * (i + 1) ** 1.5 for i, obs in enumerate(observations)},
+    }
+    return observations, degradations
+
+
+ALL_MODELS = [AverageLT, AverageStDevLT, PDFLT, QueueModel]
+
+
+@pytest.mark.parametrize("model_cls", ALL_MODELS)
+def test_shuffled_catalog_changes_nothing(model_cls):
+    observations, degradations = _catalog()
+    targets = [_signature(rho, seed=40 + i) for i, rho in enumerate([0.2, 0.5, 0.9])]
+    reference = model_cls().fit(observations, degradations)
+    expected = [
+        reference.predict(app, target)
+        for app in ("alpha", "beta")
+        for target in targets
+    ]
+
+    rng = random.Random(7)
+    for _ in range(5):
+        shuffled = list(observations)
+        rng.shuffle(shuffled)
+        # Shuffle the degradation dicts' insertion order too.
+        mixed = {
+            app: {obs.label: degradations[app][obs.label] for obs in shuffled}
+            for app in sorted(degradations, reverse=True)
+        }
+        model = model_cls().fit(shuffled, mixed)
+        got = [
+            model.predict(app, target)
+            for app in ("alpha", "beta")
+            for target in targets
+        ]
+        assert got == expected
+
+
+# QueueModel ties are exercised through the paper's nearest-config rule:
+# with interpolation, duplicate utilization knots make the interpolant
+# degenerate (though still canonical), so "pick one config" only applies to
+# nearest mode.
+TIE_MODELS = [
+    AverageLT,
+    AverageStDevLT,
+    PDFLT,
+    lambda: QueueModel(interpolate=False),
+]
+
+
+@pytest.mark.parametrize("model_cls", TIE_MODELS)
+def test_exact_score_ties_resolve_to_lowest_label(model_cls):
+    # Two configs with byte-identical signatures (same samples) but distinct
+    # labels and distinct measured degradations: every model scores them
+    # equally, so only the tie-break rule decides — and it must pick the
+    # lexicographically smallest label, whatever order the catalog came in.
+    twin_a = _observation(2, 0.5, seed=99)
+    twin_b = CompressionObservation(
+        config=_observation(4, 0.5, seed=0).config,  # different label
+        impact=twin_a.impact,  # identical signature
+    )
+    assert twin_a.label < twin_b.label
+    far = _observation(8, 0.9, seed=98)
+    degradations = {
+        "app": {twin_a.label: 10.0, twin_b.label: 77.0, far.label: 100.0}
+    }
+    target = twin_a.impact.signature  # matches both twins with equal score
+
+    for ordering in ([twin_a, twin_b, far], [twin_b, twin_a, far], [far, twin_b, twin_a]):
+        model = model_cls().fit(ordering, degradations)
+        assert model.predict("app", target) == 10.0

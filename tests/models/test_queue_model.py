@@ -86,19 +86,19 @@ def test_monotone_prediction_for_monotone_curve(fitted):
     assert predictions == sorted(predictions)
 
 
-def test_uncalibrated_observations_raise(fitted):
+def test_uncalibrated_observations_raise_at_fit_time(fitted):
     observations, degradations = fitted
-    # Strip the calibration: utilization becomes NaN.
+    # Strip the calibration: utilization becomes NaN.  The model rejects it
+    # at fit() time, naming the offending config, rather than surprising the
+    # first predict() call mid-campaign.
     raw = ProbeSignature.from_samples([1e-6, 2e-6])
     bad = CompressionObservation(
         config=observations[0].config,
         impact=ImpactResult(signature=raw, true_utilization=0.0, sim_time=0.01),
     )
-    model = QueueModel().fit(
-        [bad], {"app": {bad.label: 1.0}}
-    )
-    with pytest.raises(ModelError, match="calibrated"):
-        model.predict("app", _signature_at_utilization(0.5, seed=9))
+    with pytest.raises(ModelError, match="calibrated") as excinfo:
+        QueueModel().fit([bad], {"app": {bad.label: 1.0}})
+    assert bad.label in str(excinfo.value)
 
 
 def test_uncalibrated_target_raises(fitted):

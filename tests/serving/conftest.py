@@ -1,0 +1,61 @@
+"""Shared synthesis helpers for the serving tests.
+
+Catalogs here are synthesized directly (no simulation runs): probe samples
+are drawn so that their P–K inversion lands on a chosen utilization, the
+same trick the queue-model unit tests use.  ``make_catalog`` returns the
+full (observations, degradations, signatures, calibration) quadruple an
+artifact or engine is built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import CompressionObservation
+from repro.core.experiments.impact import ImpactResult
+from repro.core.measurement import ProbeSignature
+from repro.queueing import ServiceEstimate, sojourn_from_utilization
+from repro.workloads import CompressionConfig
+
+CAL = ServiceEstimate(mean=1e-6, variance=1e-13, minimum=0.8e-6, sample_count=200)
+
+
+def make_signature(rho, seed, spread=0.05, n=300):
+    target_mean = sojourn_from_utilization(rho, CAL.rate, CAL.variance)
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(target_mean, target_mean * spread, n).clip(1e-9)
+    return ProbeSignature.from_samples(samples, CAL)
+
+
+def make_observation(partners, rho, seed):
+    return CompressionObservation(
+        config=CompressionConfig(partners=partners, messages=1, sleep_cycles=2.5e5),
+        impact=ImpactResult(
+            signature=make_signature(rho, seed), true_utilization=rho, sim_time=0.01
+        ),
+    )
+
+
+def make_catalog(apps=("alpha", "beta"), configs=5, seed=0):
+    rhos = np.linspace(0.1, 0.85, configs)
+    observations = [
+        make_observation(i + 1, float(rho), seed=seed * 1000 + i)
+        for i, rho in enumerate(rhos)
+    ]
+    rng = np.random.default_rng(seed + 77)
+    degradations = {
+        app: {
+            obs.label: float(5.0 * (i + 1) + rng.uniform(-1, 1))
+            for i, obs in enumerate(observations)
+        }
+        for app in apps
+    }
+    signatures = {
+        app: make_signature(float(rng.uniform(0.1, 0.9)), seed=seed * 99 + j)
+        for j, app in enumerate(apps)
+    }
+    return observations, degradations, signatures, CAL
+
+
+@pytest.fixture()
+def catalog():
+    return make_catalog()

@@ -1,0 +1,170 @@
+"""Fitted-model artifact: exact round-trips and paranoid loading."""
+
+import json
+
+import pytest
+
+from repro.errors import ArtifactError
+from repro.serving import (
+    ARTIFACT_FORMAT,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
+
+from .conftest import make_catalog, make_signature
+
+
+def _artifact(seed=0):
+    observations, degradations, signatures, cal = make_catalog(seed=seed)
+    return ModelArtifact(
+        observations=observations,
+        degradations=degradations,
+        signatures=signatures,
+        calibration=cal,
+        metadata={"engine": "test", "seed": seed},
+    )
+
+
+# ----------------------------------------------------------------------
+# Round trip
+# ----------------------------------------------------------------------
+def test_round_trip_predictions_are_bit_identical(tmp_path):
+    artifact = _artifact()
+    path = save_artifact(artifact, tmp_path / "model.json")
+    loaded = load_artifact(path)
+
+    original = artifact.engine()
+    restored = loaded.engine()
+    apps = sorted(artifact.signatures)
+    for app in apps:
+        for other in apps:
+            for model in original.model_names:
+                assert restored.predict(app, other, model) == original.predict(
+                    app, other, model
+                )
+
+
+def test_round_trip_preserves_products_and_metadata(tmp_path):
+    artifact = _artifact(seed=3)
+    loaded = load_artifact(save_artifact(artifact, tmp_path / "model.json"))
+    assert loaded.metadata == {"engine": "test", "seed": 3}
+    assert loaded.degradations == artifact.degradations
+    assert sorted(obs.label for obs in loaded.observations) == sorted(
+        obs.label for obs in artifact.observations
+    )
+    assert loaded.calibration is not None
+    assert loaded.calibration.mean == artifact.calibration.mean
+    for app, signature in artifact.signatures.items():
+        assert loaded.signatures[app].mean == signature.mean
+        assert loaded.signatures[app].utilization == signature.utilization
+
+
+def test_save_is_atomic_and_leaves_no_temp_files(tmp_path):
+    save_artifact(_artifact(), tmp_path / "model.json")
+    save_artifact(_artifact(seed=1), tmp_path / "model.json")  # overwrite
+    assert [p.name for p in tmp_path.iterdir()] == ["model.json"]
+
+
+def test_document_carries_verifiable_checksum(tmp_path):
+    import hashlib
+
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    document = json.loads(path.read_text())
+    assert document["__artifact_format__"] == ARTIFACT_FORMAT
+    expected = hashlib.sha256(
+        json.dumps(document["payload"], sort_keys=True).encode()
+    ).hexdigest()
+    assert document["sha256"] == expected
+
+
+def test_artifact_without_calibration_round_trips(tmp_path):
+    artifact = _artifact()
+    artifact.calibration = None
+    loaded = load_artifact(save_artifact(artifact, tmp_path / "model.json"))
+    assert loaded.calibration is None
+
+
+# ----------------------------------------------------------------------
+# Rejection of damaged artifacts
+# ----------------------------------------------------------------------
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(ArtifactError, match="cannot read"):
+        load_artifact(tmp_path / "nope.json")
+
+
+def test_truncated_artifact_raises(tmp_path):
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(ArtifactError, match="truncated or corrupt"):
+        load_artifact(path)
+
+
+def test_bit_flip_fails_checksum(tmp_path):
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    document = json.loads(path.read_text())
+    # A quiet in-place corruption that keeps the JSON valid.
+    document["payload"]["degradations"]["alpha"] = {
+        label: value + 1.0
+        for label, value in document["payload"]["degradations"]["alpha"].items()
+    }
+    path.write_text(json.dumps(document))
+    with pytest.raises(ArtifactError, match="checksum"):
+        load_artifact(path)
+
+
+def test_unknown_format_version_raises(tmp_path):
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    document = json.loads(path.read_text())
+    document["__artifact_format__"] = ARTIFACT_FORMAT + 1
+    path.write_text(json.dumps(document))
+    with pytest.raises(ArtifactError, match="format"):
+        load_artifact(path)
+
+
+def test_non_object_document_raises(tmp_path):
+    path = tmp_path / "model.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ArtifactError, match="JSON object"):
+        load_artifact(path)
+
+
+def test_missing_payload_section_raises(tmp_path):
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    document = json.loads(path.read_text())
+    del document["payload"]["signatures"]
+    # Re-checksum so only the schema check can catch it.
+    import hashlib
+
+    document["sha256"] = hashlib.sha256(
+        json.dumps(document["payload"], sort_keys=True).encode()
+    ).hexdigest()
+    path.write_text(json.dumps(document))
+    with pytest.raises(ArtifactError, match="signatures"):
+        load_artifact(path)
+
+
+def test_malformed_observation_raises():
+    with pytest.raises(ArtifactError, match="malformed"):
+        ModelArtifact.from_payload(
+            {
+                "observations": [{"partners": 1}],  # missing every other field
+                "degradations": {},
+                "signatures": {},
+            }
+        )
+
+
+def test_from_payload_rejects_non_mapping():
+    with pytest.raises(ArtifactError, match="mapping"):
+        ModelArtifact.from_payload("not a dict")
+
+
+def test_engine_accepts_signature_roundtrip_through_json():
+    # JSON round-trips floats exactly; make sure a signature survives.
+    signature = make_signature(0.4, seed=5)
+    restored = type(signature).from_dict(json.loads(json.dumps(signature.to_dict())))
+    assert restored.mean == signature.mean
+    assert restored.std == signature.std
+    assert restored.utilization == signature.utilization

@@ -1,0 +1,233 @@
+"""The prediction server: endpoint contract, errors, and serving metrics."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.serving import ModelArtifact, PredictionServer
+
+from .conftest import make_catalog
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+@pytest.fixture()
+def server():
+    observations, degradations, signatures, cal = make_catalog(
+        apps=("alpha", "beta"), configs=5
+    )
+    artifact = ModelArtifact(
+        observations=observations,
+        degradations=degradations,
+        signatures=signatures,
+        calibration=cal,
+        metadata={"engine": "test"},
+    )
+    instance = PredictionServer(artifact, port=0)
+    instance.serve_background()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+def _get(server, path):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(server, path, document):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(document).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read())
+
+
+def _error_of(exc):
+    return json.loads(exc.read())["error"]
+
+
+# ----------------------------------------------------------------------
+# Happy paths
+# ----------------------------------------------------------------------
+def test_healthz_reports_models_and_metadata(server):
+    status, document = _get(server, "/healthz")
+    assert status == 200
+    assert document["status"] == "ok"
+    assert document["apps"] == ["alpha", "beta"]
+    assert "Queue" in document["models"]
+    assert document["metadata"] == {"engine": "test"}
+    assert document["uptime_seconds"] >= 0
+
+
+def test_models_endpoint(server):
+    status, document = _get(server, "/models")
+    assert status == 200
+    assert document["models"] == ["AverageLT", "AverageStDevLT", "PDFLT", "Queue"]
+    assert document["catalog_size"] == 5
+
+
+def test_predict_get_all_models(server):
+    status, document = _get(server, "/predict?app=alpha&other=beta")
+    assert status == 200
+    assert set(document["predictions"]) == set(server.engine.model_names)
+    assert document["predictions"]["Queue"] == server.engine.predict(
+        "alpha", "beta", "Queue"
+    )
+
+
+def test_predict_get_single_model(server):
+    status, document = _get(server, "/predict?app=beta&other=alpha&model=PDFLT")
+    assert status == 200
+    assert list(document["predictions"]) == ["PDFLT"]
+
+
+def test_predict_post(server):
+    status, document = _post(
+        server, "/predict", {"app": "alpha", "other": "beta", "model": "AverageLT"}
+    )
+    assert status == 200
+    assert document["predictions"]["AverageLT"] == server.engine.predict(
+        "alpha", "beta", "AverageLT"
+    )
+
+
+def test_predict_batch_matches_scalar(server):
+    requests = [
+        [app, other, model]
+        for app in ("alpha", "beta")
+        for other in ("alpha", "beta")
+        for model in server.engine.model_names
+    ]
+    status, document = _post(server, "/predict/batch", {"requests": requests})
+    assert status == 200
+    assert len(document["predictions"]) == len(requests)
+    for entry in document["predictions"]:
+        assert entry["predicted"] == server.engine.predict(
+            entry["app"], entry["other"], entry["model"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Error contract
+# ----------------------------------------------------------------------
+def test_unknown_path_is_404(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/nope")
+    assert excinfo.value.code == 404
+    assert "unknown path" in _error_of(excinfo.value)
+
+
+def test_unknown_app_is_400(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/predict?app=ghost&other=beta")
+    assert excinfo.value.code == 400
+    assert "ghost" in _error_of(excinfo.value)
+
+
+def test_unknown_model_is_400(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/predict?app=alpha&other=beta&model=Oracle")
+    assert excinfo.value.code == 400
+    assert "Oracle" in _error_of(excinfo.value)
+
+
+def test_missing_fields_are_400(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/predict?app=alpha")
+    assert excinfo.value.code == 400
+
+
+def test_batch_with_malformed_body_is_400(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, "/predict/batch", {"requests": [["alpha", "beta"]]})
+    assert excinfo.value.code == 400
+    assert "triple" in _error_of(excinfo.value)
+
+
+def test_batch_with_non_json_body_is_400(server):
+    url = f"http://127.0.0.1:{server.server_port}/predict/batch"
+    request = urllib.request.Request(url, data=b"not json", method="POST")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 400
+
+
+def test_server_survives_bad_requests(server):
+    with pytest.raises(urllib.error.HTTPError):
+        _get(server, "/predict?app=ghost&other=beta")
+    status, _ = _get(server, "/healthz")
+    assert status == 200
+
+
+# ----------------------------------------------------------------------
+# Serving metrics
+# ----------------------------------------------------------------------
+def test_requests_are_counted_when_telemetry_enabled(server):
+    telemetry.enable()
+    _get(server, "/healthz")
+    _get(server, "/predict?app=alpha&other=beta")
+    _post(server, "/predict/batch", {"requests": [["alpha", "beta", "Queue"]]})
+    registry = telemetry.registry()
+    assert (
+        registry.counter_value("serving.requests", endpoint="/healthz", status=200)
+        == 1.0
+    )
+    assert (
+        registry.counter_value("serving.requests", endpoint="/predict", status=200)
+        == 1.0
+    )
+    assert (
+        registry.counter_value(
+            "serving.requests", endpoint="/predict/batch", status=200
+        )
+        == 1.0
+    )
+    assert registry.counter_value("serving.predictions") == 1.0
+    histogram = registry.histogram_state(
+        "serving.request_seconds", endpoint="/predict"
+    )
+    assert histogram["count"] == 1
+
+
+def test_error_responses_are_counted_by_status(server):
+    telemetry.enable()
+    with pytest.raises(urllib.error.HTTPError):
+        _get(server, "/predict?app=ghost&other=beta")
+    assert (
+        telemetry.registry().counter_value(
+            "serving.requests", endpoint="/predict", status=400
+        )
+        == 1.0
+    )
+
+
+def test_metrics_endpoint_returns_snapshot(server):
+    telemetry.enable()
+    _get(server, "/healthz")
+    status, document = _get(server, "/metrics")
+    assert status == 200
+    assert any("serving.requests" in key for key in document.get("counters", {}))
+
+
+def test_no_metrics_recorded_when_disabled(server):
+    _get(server, "/healthz")
+    snapshot = telemetry.registry().snapshot()
+    assert not any(
+        "serving" in key for key in snapshot.get("counters", {})
+    )

@@ -139,6 +139,62 @@ def test_cancel_is_idempotent():
     sim.run()
 
 
+def test_pending_excludes_cancelled_entries():
+    sim = Simulator()
+    live = sim.schedule_cancellable(1.0, lambda: None)
+    dead = sim.schedule_cancellable(2.0, lambda: None)
+    assert sim.pending == 2
+    dead.cancel()
+    assert sim.pending == 1
+    assert sim.cancelled_pending == 1
+    dead.cancel()  # idempotent: must not double-count
+    assert sim.pending == 1
+    live.cancel()
+    assert sim.pending == 0
+    assert sim.cancelled_pending == 2
+    sim.run()
+    assert sim.pending == 0
+    assert sim.cancelled_pending == 0
+
+
+def test_cancel_after_execution_does_not_skew_accounting():
+    sim = Simulator()
+    handle = sim.schedule_cancellable(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # too late: already ran
+    assert sim.pending == 0
+    assert sim.cancelled_pending == 0
+
+
+def test_max_pending_is_live_queue_depth():
+    sim = Simulator()
+    handles = [sim.schedule_cancellable(float(i + 1), lambda: None) for i in range(3)]
+    assert sim.max_pending == 3
+    for handle in handles:
+        handle.cancel()
+    # Cancelled entries are dead weight: scheduling more live work on top of
+    # them must not inflate the high-water mark past the true live depth.
+    sim.schedule(0.5, lambda: None)
+    assert sim.max_pending == 3
+    for _ in range(4):
+        sim.schedule(0.5, lambda: None)
+    assert sim.max_pending == 5
+    sim.run()
+
+
+def test_counters_report_net_pending_and_cancelled_tally():
+    sim = Simulator()
+    sim.schedule_cancellable(1.0, lambda: None).cancel()
+    sim.schedule(2.0, lambda: None)
+    snapshot = sim.counters()
+    assert snapshot["kernel.pending"] == 1.0
+    assert snapshot["kernel.cancelled_pending"] == 1.0
+    sim.run()
+    snapshot = sim.counters()
+    assert snapshot["kernel.pending"] == 0.0
+    assert snapshot["kernel.cancelled_pending"] == 0.0
+
+
 def test_max_events_budget_raises():
     sim = Simulator()
     for _ in range(10):
