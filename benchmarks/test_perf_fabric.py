@@ -1,0 +1,138 @@
+"""Fabric throughput microbenchmark + the 36-pair lossy-spine campaign.
+
+Two questions, one artifact (``BENCH_fabric.json``):
+
+* How fast does the hop-by-hop leaf-spine path move packets, healthy and
+  faulted?  (The fault model rides the hot path — a drop draw per packet
+  on faulted links — so its cost needs a number attached.)
+* What does a lossy spine cable do to the paper's four prediction models?
+  The full 36-pair methodology re-runs on a 2-leaf fabric whose
+  leaf0->spine0 direction drops 2% of packets, and the per-model error
+  deltas against the single-switch baseline land in the artifact.
+
+Lightly parameterized instances of all six applications keep the 72
+pair-campaign simulations (36 per side) in benchmark territory; the
+CLI (``repro fabric-report``) runs the same comparison at full quick- or
+paper-profile scale.
+"""
+
+import json
+import time
+
+from repro.analysis import fabric_comparison
+from repro.cluster import leaf_spine_config, small_test_config
+from repro.config import LinkFaultConfig, NetworkConfig, scenario_tag
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.network import InterconnectNetwork, LeafSpineTopology, packet_count
+from repro.sim import RandomStreams, Simulator
+from repro.units import KB, MS
+from repro.workloads import AMG, FFTW, MCB, MILC, CompressionConfig, Lulesh, VPFFT
+
+MESSAGES = 4_000
+MESSAGE_BYTES = 16 * KB
+LOSSY = (LinkFaultConfig(link="leaf*->spine0", drop_probability=0.02),)
+DEGRADED = (LinkFaultConfig(link="spine0->leaf*", speed_factor=0.25),)
+
+
+def _fabric_rate(faults):
+    """Packets/s for a cross-leaf blast through a 2x2x2 fabric."""
+    sim = Simulator()
+    net = InterconnectNetwork(
+        sim,
+        LeafSpineTopology(2, 2, spine_count=2),
+        NetworkConfig(link_faults=faults),
+        RandomStreams(0),
+    )
+    done = []
+    for i in range(MESSAGES):
+        net.send(i % 2, 2 + i % 2, MESSAGE_BYTES,
+                 on_delivered=lambda: done.append(None), flow=i)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    assert len(done) == MESSAGES
+    assert net.packets_offered == (
+        net.packets_delivered + net.packets_dropped + net.packets_corrupted
+    )
+    return {
+        "packets_offered": net.packets_offered,
+        "packets_dropped": net.packets_dropped,
+        "packets_per_second": round(net.packets_offered / elapsed),
+        "kernel_events": sim.events_executed,
+    }
+
+
+def _light_apps():
+    return {
+        "fftw": FFTW(iterations=1, pack_compute=5e-5),
+        "mcb": MCB(iterations=2, track_compute=2e-4, census_every=2),
+        "amg": AMG(cycles=1, dense_compute=2e-4, sparse_iterations=2),
+        "milc": MILC(iterations=4, compute_per_iter=5e-5),
+        "lulesh": Lulesh(iterations=2, compute_per_iter=2e-4),
+        "vpfft": VPFFT(iterations=1, stress_compute=2e-4),
+    }
+
+
+def _pipeline(machine_config):
+    return ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick", seed=0,
+            impact_duration=0.01, signature_duration=0.01,
+            calibration_duration=0.02, probe_interval=0.1 * MS,
+        ),
+        machine_config=machine_config,
+        applications=_light_apps(),
+        catalog=[CompressionConfig(1, 1, 2.5e6), CompressionConfig(2, 1, 2.5e5)],
+    )
+
+
+def test_perf_fabric_throughput_and_lossy_campaign(artifact_dir):
+    healthy = _fabric_rate(())
+    lossy = _fabric_rate(LOSSY)
+    degraded = _fabric_rate(DEGRADED)
+    assert healthy["packets_dropped"] == 0
+    assert lossy["packets_dropped"] > 0
+    # Loose floor, as for the kernel benchmark: the trend is the signal.
+    assert healthy["packets_per_second"] > 5_000
+    expected = MESSAGES * packet_count(MESSAGE_BYTES, NetworkConfig().mtu)
+    assert healthy["packets_offered"] == expected
+
+    baseline = _pipeline(small_test_config(seed=0))
+    fabric = _pipeline(
+        leaf_spine_config(seed=0, leaf_count=2, nodes_per_leaf=2,
+                          spine_count=2, faults=LOSSY)
+    )
+    start = time.perf_counter()
+    baseline.ensure_all(workers=1)
+    baseline_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    fabric.ensure_all(workers=1)
+    fabric_elapsed = time.perf_counter() - start
+
+    comparison = fabric_comparison(baseline, fabric)
+    for model in comparison["models"]:
+        assert len(comparison["fabric"][model]["per_pair"]) == 36
+
+    payload = {
+        "throughput": {
+            "healthy": healthy, "lossy": lossy, "degraded": degraded,
+        },
+        "campaign": {
+            "scenario": scenario_tag(fabric.machine_config),
+            "pairs": 36,
+            "baseline_seconds": round(baseline_elapsed, 2),
+            "fabric_seconds": round(fabric_elapsed, 2),
+            "model_deltas": comparison["delta"],
+        },
+    }
+    path = artifact_dir / "BENCH_fabric.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    slowdown = fabric_elapsed / max(baseline_elapsed, 1e-9)
+    print(
+        f"\nfabric {healthy['packets_per_second']:,} packets/s healthy · "
+        f"{lossy['packets_per_second']:,} lossy · "
+        f"{degraded['packets_per_second']:,} degraded\n"
+        f"36-pair lossy campaign {fabric_elapsed:.1f}s "
+        f"({slowdown:.1f}x the single-switch {baseline_elapsed:.1f}s)\n"
+        f"[artifact saved to {path}]"
+    )

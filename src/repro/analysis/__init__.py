@@ -2,6 +2,7 @@
 
 from .degradation import LinearFit, fit_degradation_trend, sensitivity_ranking
 from .errors import ErrorSummary, absolute_errors, fraction_within, summarize_errors
+from .fabric import fabric_comparison, render_fabric_comparison, write_fabric_report
 from .report import degradation_curves, full_report
 from .tables import (
     render_fig6,
@@ -30,4 +31,7 @@ __all__ = [
     "render_histogram",
     "full_report",
     "degradation_curves",
+    "fabric_comparison",
+    "render_fabric_comparison",
+    "write_fabric_report",
 ]

@@ -7,6 +7,9 @@ Examples::
     repro fig6 --profile quick
     repro campaign --workers 4           # run the whole campaign in parallel
     repro campaign --engine analytic     # closed-form M/G/1 campaign, seconds
+    repro campaign --topology leaf-spine --faults lossy-spine   # fabric scenario
+    repro fabric-report --topology leaf-spine --faults lossy-spine \
+        --out results/artifacts/fabric_report.json   # compare vs baseline
     repro campaign --telemetry --json    # machine-readable stats + telemetry.json
     repro telemetry --cache results/cache          # last campaign's metrics/spans
     repro telemetry --trace-out trace.json         # Chrome trace for Perfetto
@@ -56,6 +59,12 @@ _COMMON_DEFAULTS = {
     "failure_budget": 0,
     "telemetry": None,
     "json": False,
+    "topology": "single",
+    "leaves": 2,
+    "nodes_per_leaf": 9,
+    "spines": 2,
+    "ecmp_seed": 0,
+    "faults": "",
 }
 
 
@@ -162,6 +171,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON on stdout (human/progress lines go "
         "to stderr, so the output pipes cleanly into other tools)",
     )
+    common.add_argument(
+        "--topology",
+        choices=("single", "leaf-spine"),
+        default=argparse.SUPPRESS,
+        help="fabric layout: 'single' (the paper's one-switch platform, "
+        "default) or 'leaf-spine' (2-level fabric with ECMP flow hashing; "
+        "shape set by --leaves/--nodes-per-leaf/--spines)",
+    )
+    common.add_argument(
+        "--leaves",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="leaf switches in the leaf-spine fabric (default 2)",
+    )
+    common.add_argument(
+        "--nodes-per-leaf",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="compute nodes per leaf switch (default 9, keeping Cab's 18)",
+    )
+    common.add_argument(
+        "--spines",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="spine switches (ECMP spreads flows across them; default 2)",
+    )
+    common.add_argument(
+        "--ecmp-seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="seed folded into the ECMP flow hash (re-deals flows onto "
+        "spines without touching any other randomness; default 0)",
+    )
+    common.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=argparse.SUPPRESS,
+        help="per-link fault scenario: a preset name (lossy-spine, "
+        "degraded-spine, corrupting-spine, flaky-spine), inline JSON "
+        "(a rule object or list of rules), or @file.json; requires "
+        "--topology leaf-spine",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -243,14 +294,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="network slowdown factors (first is the baseline)",
     )
 
+    fabric = command(
+        "fabric-report",
+        "compare a fabric scenario's prediction errors to the single-switch "
+        "baseline (runs both campaigns if their products are not cached)",
+    )
+    fabric.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the comparison as a JSON artifact",
+    )
+
     return parser
 
 
-def _pipeline(args: argparse.Namespace) -> ReproductionPipeline:
+def _parse_faults(spec: str):
+    """Resolve a --faults SPEC into a tuple of LinkFaultConfig rules.
+
+    Accepts a preset name from :data:`repro.cluster.FAULT_SCENARIOS`,
+    inline JSON (one rule object or a list of them), or ``@path`` to a
+    JSON file with the same shape.
+    """
+    import json as json_mod
+
+    from .cluster import FAULT_SCENARIOS, fault_scenario
+    from .config import LinkFaultConfig
+
+    spec = spec.strip()
+    if not spec:
+        return ()
+    if spec.startswith("@"):
+        spec = Path(spec[1:]).read_text().strip()
+    if spec.startswith(("[", "{")):
+        data = json_mod.loads(spec)
+        if isinstance(data, dict):
+            data = [data]
+        return tuple(LinkFaultConfig.from_dict(rule) for rule in data)
+    if spec in FAULT_SCENARIOS:
+        return fault_scenario(spec)
+    raise SystemExit(
+        f"repro: unknown fault scenario {spec!r}; "
+        f"known presets: {', '.join(sorted(FAULT_SCENARIOS))} "
+        "(or pass inline JSON / @file.json)"
+    )
+
+
+def _machine_config(args: argparse.Namespace):
+    """Build the machine the common fabric flags describe."""
+    from .cluster import cab_config, leaf_spine_config
+
+    faults = _parse_faults(args.faults)
+    if args.topology == "single":
+        if faults:
+            raise SystemExit(
+                "repro: --faults requires --topology leaf-spine (a single "
+                "switch has no inter-switch links to degrade)"
+            )
+        return cab_config(seed=args.seed)
+    return leaf_spine_config(
+        seed=args.seed,
+        leaf_count=args.leaves,
+        nodes_per_leaf=args.nodes_per_leaf,
+        spine_count=args.spines,
+        ecmp_seed=args.ecmp_seed,
+        faults=faults,
+    )
+
+
+def _pipeline(
+    args: argparse.Namespace, machine_config=None
+) -> ReproductionPipeline:
     return ReproductionPipeline(
         settings=PipelineSettings(
             profile=args.profile, seed=args.seed, engine=args.engine
         ),
+        machine_config=machine_config
+        if machine_config is not None
+        else _machine_config(args),
         cache_path=args.cache,
         legacy_cache=args.legacy_cache,
         workers=args.workers,
@@ -501,6 +621,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 f"  {point.factor:5.1f}x slower network: "
                 f"{point.elapsed * 1e3:8.2f}ms  ({point.slowdown_percent:+.1f}%)"
+            )
+    elif args.command == "fabric-report":
+        from .analysis import (
+            fabric_comparison,
+            render_fabric_comparison,
+            write_fabric_report,
+        )
+        from .cluster import cab_config
+
+        if args.topology == "single":
+            print(
+                "repro fabric-report: pass --topology leaf-spine (and "
+                "optionally --faults) to describe the fabric scenario",
+                file=sys.stderr,
+            )
+            return 1
+        baseline = _pipeline(args, machine_config=cab_config(seed=args.seed))
+        for side, pipe in (("baseline", baseline), ("fabric", pipeline)):
+            pending = len(pipe.pending_keys())
+            if pending:
+                print(
+                    f"[fabric-report] {side}: {pending} products pending, running…",
+                    file=sys.stderr,
+                )
+            pipe.ensure_all()
+        comparison = fabric_comparison(baseline, pipeline)
+        print(render_fabric_comparison(comparison), file=human)
+        if args.out:
+            path = write_fabric_report(comparison, args.out)
+            print(f"wrote fabric comparison to {path}", file=sys.stderr)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "baseline_tag": comparison["baseline_tag"],
+                        "fabric_tag": comparison["fabric_tag"],
+                        "delta": comparison["delta"],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
             )
     return 0
 

@@ -9,7 +9,13 @@ from .placement import (
     Placement,
     RoundRobinPlacement,
 )
-from .specs import cab_config, small_test_config
+from .specs import (
+    FAULT_SCENARIOS,
+    cab_config,
+    fault_scenario,
+    leaf_spine_config,
+    small_test_config,
+)
 
 __all__ = [
     "Machine",
@@ -22,4 +28,7 @@ __all__ = [
     "ExplicitPlacement",
     "cab_config",
     "small_test_config",
+    "leaf_spine_config",
+    "FAULT_SCENARIOS",
+    "fault_scenario",
 ]

@@ -6,7 +6,7 @@ from typing import List, Sequence
 
 from ..config import MachineConfig
 from ..errors import ConfigurationError
-from ..network import InterconnectNetwork, SingleSwitchTopology, Topology
+from ..network import InterconnectNetwork, Topology
 from ..sim import RandomStreams, Simulator
 from .node import Core, Node
 from .placement import Placement
@@ -23,13 +23,14 @@ class Machine:
 
     Args:
         config: full machine description (defaults are Cab-like).
-        topology: override the interconnect layout (default: single switch,
-            the paper's configuration).
+        topology: override the interconnect layout (default: whatever
+            ``config.topology`` declares — the paper's single switch
+            unless a leaf-spine fabric was configured).
     """
 
     def __init__(self, config: MachineConfig, topology: Topology | None = None) -> None:
         if topology is None:
-            topology = SingleSwitchTopology(config.node_count)
+            topology = config.topology.build(config.node_count)
         if topology.node_count != config.node_count:
             raise ConfigurationError(
                 f"topology has {topology.node_count} nodes, config says {config.node_count}"

@@ -7,11 +7,27 @@ socket nodes (two 8-core 2.6 GHz Xeon E5-2670) per QLogic 12300 leaf switch,
 
 from __future__ import annotations
 
-from ..config import MachineConfig, NetworkConfig, NodeConfig
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from ..config import (
+    LinkFaultConfig,
+    MachineConfig,
+    NetworkConfig,
+    NodeConfig,
+    TopologyConfig,
+)
+from ..errors import ConfigurationError
 from ..network.service_time import default_fabric_service, default_port_overhead
 from ..units import GB, GHZ, KB, US
 
-__all__ = ["cab_config", "small_test_config"]
+__all__ = [
+    "cab_config",
+    "small_test_config",
+    "leaf_spine_config",
+    "FAULT_SCENARIOS",
+    "fault_scenario",
+]
 
 
 def cab_config(seed: int = 0, node_count: int = 18) -> MachineConfig:
@@ -30,6 +46,70 @@ def cab_config(seed: int = 0, node_count: int = 18) -> MachineConfig:
             fabric_service=default_fabric_service(),
         ),
         seed=seed,
+    )
+
+
+#: Named fault presets for the leaf-spine scenario matrix (loss, degraded
+#: speed, corruption, flap — the LinkGuardian failure taxonomy).  Every
+#: preset targets the links touching spine0, leaving the other spines
+#: healthy, so ECMP keeps some flows on clean paths while others suffer.
+FAULT_SCENARIOS: Dict[str, Tuple[LinkFaultConfig, ...]] = {
+    "lossy-spine": (
+        LinkFaultConfig(link="*->spine0", drop_probability=0.02),
+        LinkFaultConfig(link="spine0->*", drop_probability=0.02),
+    ),
+    "degraded-spine": (
+        LinkFaultConfig(link="*->spine0", speed_factor=0.25),
+        LinkFaultConfig(link="spine0->*", speed_factor=0.25),
+    ),
+    "corrupting-spine": (
+        LinkFaultConfig(link="*->spine0", corrupt_probability=0.02),
+        LinkFaultConfig(link="spine0->*", corrupt_probability=0.02),
+    ),
+    "flaky-spine": (
+        LinkFaultConfig(link="*->spine0", down=((0.005, 0.01), (0.02, 0.025))),
+        LinkFaultConfig(link="spine0->*", down=((0.005, 0.01), (0.02, 0.025))),
+    ),
+}
+
+
+def fault_scenario(name: str) -> Tuple[LinkFaultConfig, ...]:
+    """Look up a named fault preset, with a helpful error on typos."""
+    try:
+        return FAULT_SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault scenario {name!r}; "
+            f"known: {', '.join(sorted(FAULT_SCENARIOS))}"
+        ) from None
+
+
+def leaf_spine_config(
+    seed: int = 0,
+    leaf_count: int = 2,
+    nodes_per_leaf: int = 9,
+    spine_count: int = 2,
+    ecmp_seed: int = 0,
+    faults: Tuple[LinkFaultConfig, ...] = (),
+) -> MachineConfig:
+    """Cab's 18 nodes re-cabled as a 2-level leaf-spine fabric.
+
+    The default 2×9 shape keeps the paper's node count and per-node
+    hardware, but spreads the ranks across two leaves so cross-leaf traffic
+    exercises the spine links — the configuration the fault scenarios
+    (``faults=fault_scenario("lossy-spine")``) are designed around.
+    """
+    base = cab_config(seed=seed, node_count=leaf_count * nodes_per_leaf)
+    return replace(
+        base,
+        topology=TopologyConfig(
+            kind="leaf-spine",
+            leaf_count=leaf_count,
+            nodes_per_leaf=nodes_per_leaf,
+            spine_count=spine_count,
+            ecmp_seed=ecmp_seed,
+        ),
+        network=replace(base.network, link_faults=tuple(faults)),
     )
 
 

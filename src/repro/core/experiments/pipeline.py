@@ -34,7 +34,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ... import telemetry
-from ...config import MachineConfig
+from ...config import MachineConfig, scenario_tag
 from ...core.measurement import ProbeSignature
 from ...engine.base import available_engines, get_engine
 from ...errors import CampaignError, ExperimentError, FailureRecord
@@ -281,17 +281,26 @@ class ReproductionPipeline:
     # Cache plumbing
     # ------------------------------------------------------------------
     def _key(self, raw: str) -> str:
-        """Engine-qualified cache key for one product.
+        """Engine- and scenario-qualified cache key for one product.
 
-        The default ``sim`` engine keeps the bare key, so pre-engine caches
-        (and the committed paper cache) stay valid byte for byte.  Every
-        other engine prefixes ``"<engine>:"``, which lands its products in
-        their own shard files — analytic and simulated results can share a
-        cache directory without ever colliding.
+        The default ``sim`` engine on the default single-switch healthy
+        machine keeps the bare key, so pre-engine caches (and the committed
+        paper cache) stay valid byte for byte.  Other engines prefix
+        ``"<engine>:"``; non-default fabric scenarios (leaf-spine and/or
+        link faults) prefix the machine's :func:`~repro.config.scenario_tag`
+        — each qualifier lands its products in their own shard files, so a
+        fabric campaign can share a cache directory with the single-switch
+        baseline without ever colliding.
         """
-        if self.settings.engine == "sim":
+        qualifiers = []
+        tag = scenario_tag(self.machine_config)
+        if tag is not None:
+            qualifiers.append(tag)
+        if self.settings.engine != "sim":
+            qualifiers.append(self.settings.engine)
+        if not qualifiers:
             return raw
-        return f"{self.settings.engine}:{raw}"
+        return ":".join(qualifiers) + ":" + raw
 
     def _memo(self, key: str, compute: Callable[[], object]) -> object:
         if key in self._cache:
@@ -535,6 +544,7 @@ class ReproductionPipeline:
                 "seed": self.settings.seed,
                 "apps": self.app_names,
                 "catalog_size": len(self.catalog),
+                "scenario": scenario_tag(self.machine_config) or "single-switch",
             },
         )
 

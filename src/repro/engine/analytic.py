@@ -38,7 +38,7 @@ import numpy as np
 from .. import telemetry
 from ..config import MachineConfig
 from ..core.measurement import LatencyCollector, LatencyHistogram
-from ..errors import AnalyticModelError, ExperimentError
+from ..errors import AnalyticModelError, ExperimentError, UnsupportedScenario
 from ..queueing import ServiceEstimate, pk_waiting_time, sojourn_from_utilization
 from ..workloads import CompressionB, ImpactB, Workload
 from ..workloads.traffic import TrafficSummary
@@ -188,6 +188,7 @@ class AnalyticEngine(ExperimentEngine):
 
     def _dispatch(self, descriptor: "ExperimentDescriptor") -> object:
         settings = descriptor.settings
+        self._check_scenario(descriptor.machine_config)
         model = SwitchModel(descriptor.machine_config)
         if descriptor.kind == "calibration":
             return self._calibration(model, settings)
@@ -205,6 +206,29 @@ class AnalyticEngine(ExperimentEngine):
                 model, descriptor.workload, descriptor.other, descriptor.baseline
             )
         raise ExperimentError(f"unknown descriptor kind {descriptor.kind!r}")
+
+    @staticmethod
+    def _check_scenario(config: MachineConfig) -> None:
+        """Refuse fabric scenarios the M/G/1 algebra cannot honestly model.
+
+        A degenerate leaf-spine (one leaf, no faults) *is* the single
+        switch — all traffic stays on the leaf — so it passes through and
+        collapses to the existing math.  Anything with cross-leaf traffic
+        or link faults raises :class:`UnsupportedScenario`: the aggregate
+        :class:`TrafficSummary` cannot be split across inter-switch links,
+        and a faulted fabric must never silently get single-switch answers.
+        """
+        topology = config.topology
+        if config.network.has_link_faults:
+            raise UnsupportedScenario(
+                "analytic engine cannot model per-link faults; "
+                "use the simulation engine for faulted fabrics"
+            )
+        if topology.kind == "leaf-spine" and topology.leaf_count > 1:
+            raise UnsupportedScenario(
+                f"analytic engine cannot model a {topology.leaf_count}-leaf "
+                "fabric (no per-link traffic split); use the simulation engine"
+            )
 
     # ------------------------------------------------------------------
     # Fixed point

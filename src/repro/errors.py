@@ -23,6 +23,7 @@ __all__ = [
     "EstimationError",
     "ExperimentError",
     "AnalyticModelError",
+    "UnsupportedScenario",
     "ModelError",
     "ArtifactError",
     "InjectedFault",
@@ -79,6 +80,16 @@ class AnalyticModelError(ExperimentError):
     stable, lightly-to-moderately loaded switch; rather than extrapolate
     silently it refuses loudly.  Callers should fall back to the simulation
     engine for such experiments.
+    """
+
+
+class UnsupportedScenario(AnalyticModelError):
+    """The analytic engine cannot model this fabric scenario at all.
+
+    Raised for multi-leaf topologies (the aggregate traffic summary cannot
+    be split across inter-switch links) and for any per-link fault model —
+    a faulted fabric must never silently receive single-switch answers.
+    The simulation engine handles every scenario; use it instead.
     """
 
 

@@ -5,8 +5,8 @@ queue — wrapped by :class:`InterconnectNetwork`, the message-level interface
 the MPI layer drives.
 """
 
-from .fabric_stats import FabricStats
-from .link import Link
+from .fabric_stats import FabricStats, LinkStats
+from .link import FabricLink, Link
 from .network import InterconnectNetwork
 from .nic import NIC
 from .packet import Packet, packet_count, packetize
@@ -21,21 +21,29 @@ from .service_time import (
     default_port_overhead,
 )
 from .switch import OutputQueuedSwitch, SwitchFabric
-from .topology import FatTreeTopology, SingleSwitchTopology, Topology
+from .topology import (
+    FatTreeTopology,
+    LeafSpineTopology,
+    SingleSwitchTopology,
+    Topology,
+)
 
 __all__ = [
     "Packet",
     "packetize",
     "packet_count",
     "Link",
+    "FabricLink",
     "NIC",
     "SwitchFabric",
     "OutputQueuedSwitch",
     "FabricStats",
+    "LinkStats",
     "SampleStream",
     "InterconnectNetwork",
     "Topology",
     "SingleSwitchTopology",
+    "LeafSpineTopology",
     "FatTreeTopology",
     "ServiceTimeModel",
     "DeterministicService",

@@ -9,7 +9,7 @@ benchmarks.
 
 from __future__ import annotations
 
-__all__ = ["FabricStats"]
+__all__ = ["FabricStats", "LinkStats"]
 
 
 class FabricStats:
@@ -99,4 +99,67 @@ class FabricStats:
         return (
             f"FabricStats(arrivals={self.arrivals}, served={self.served}, "
             f"busy={self.busy_time:.6f}s)"
+        )
+
+
+class LinkStats:
+    """Windowed counters for one directed inter-switch link.
+
+    The packet-conservation ledger of a link: every packet handed to
+    :meth:`FabricLink.transmit` lands in exactly one terminal bucket —
+    ``delivered`` (clean), ``corrupted`` (delivered poisoned), or
+    ``dropped`` (lost; ``flap_dropped`` counts the subset lost to a
+    down-window) — so ``attempted == delivered + corrupted + dropped``
+    whenever the link has no packet in flight.
+    """
+
+    __slots__ = (
+        "window_start",
+        "attempted",
+        "delivered",
+        "corrupted",
+        "dropped",
+        "flap_dropped",
+        "bytes_attempted",
+        "bytes_delivered",
+        "busy_time",
+    )
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.reset(now)
+
+    def reset(self, now: float) -> None:
+        """Start a fresh measurement window at simulated time ``now``."""
+        self.window_start = now
+        self.attempted = 0
+        self.delivered = 0
+        self.corrupted = 0
+        self.dropped = 0
+        self.flap_dropped = 0
+        self.bytes_attempted = 0
+        self.bytes_delivered = 0
+        self.busy_time = 0.0
+
+    @property
+    def lost(self) -> int:
+        """Packets that did not arrive usable (drops + corruptions)."""
+        return self.dropped + self.corrupted
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (telemetry / reports)."""
+        return {
+            "attempted": self.attempted,
+            "delivered": self.delivered,
+            "corrupted": self.corrupted,
+            "dropped": self.dropped,
+            "flap_dropped": self.flap_dropped,
+            "bytes_attempted": self.bytes_attempted,
+            "bytes_delivered": self.bytes_delivered,
+            "busy_time": self.busy_time,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LinkStats(attempted={self.attempted}, delivered={self.delivered}, "
+            f"dropped={self.dropped}, corrupted={self.corrupted})"
         )

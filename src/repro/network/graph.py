@@ -12,7 +12,7 @@ from __future__ import annotations
 import networkx as nx
 
 from ..errors import ConfigurationError
-from .topology import FatTreeTopology, Topology
+from .topology import LeafSpineTopology, Topology
 
 __all__ = [
     "topology_graph",
@@ -48,10 +48,10 @@ def topology_graph(topology: Topology) -> nx.Graph:
             _switch_name(topology.attachment(node_id)),
             kind="downlink",
         )
-    # Inter-switch links.  For fat trees every leaf is cabled to every root
-    # (deterministic routing only *uses* one per pair, but the links exist);
-    # for other topologies, derive links from the routes actually taken.
-    if isinstance(topology, FatTreeTopology):
+    # Inter-switch links.  Leaf-spine fabrics cable every leaf to every
+    # spine (ECMP only *uses* one per flow, but the links exist); for other
+    # topologies, derive links from the routes actually taken.
+    if isinstance(topology, LeafSpineTopology):
         for leaf in range(topology.leaf_count):
             for root in range(topology.leaf_count, topology.switch_count):
                 graph.add_edge(_switch_name(leaf), _switch_name(root), kind="uplink")
@@ -104,13 +104,13 @@ def bisection_width(topology: Topology) -> int:
     return int(cut_value)
 
 
-def oversubscription_ratio(topology: FatTreeTopology) -> float:
+def oversubscription_ratio(topology: LeafSpineTopology) -> float:
     """Downlinks per uplink on a leaf switch (1.0 = full bisection).
 
     The paper's Cab leaf switches use 18 of 36 ports down and 18 up — a
     1:1 ratio; oversubscribed trees (>1) congest at the uplinks first.
     """
-    uplinks = topology.root_count
+    uplinks = topology.spine_count
     if uplinks < 1:
         raise ConfigurationError("fat tree needs at least one root")
     return topology.nodes_per_leaf / uplinks

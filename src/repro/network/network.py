@@ -17,7 +17,7 @@ from ..errors import ConfigurationError
 if TYPE_CHECKING:  # pragma: no cover - avoids a config <-> network import cycle
     from ..config import NetworkConfig
 from ..sim import RandomStreams, Simulator
-from .link import Link
+from .link import FabricLink, Link
 from .nic import NIC
 from .packet import Packet, packetize
 from .switch import OutputQueuedSwitch, SwitchFabric
@@ -94,10 +94,52 @@ class InterconnectNetwork:
         for node_id in range(topology.node_count):
             switch = self.switches[topology.attachment(node_id)]
             switch.attach_endpoint(node_id, self._on_packet)
+        # First-class inter-switch links.  Every cabled direction the
+        # topology declares becomes a FabricLink wired into its source
+        # switch; fault rules from the config are matched first-wins by
+        # link name.  Faulty links draw from their own named stream
+        # ("network.link.<name>.faults"); healthy links take none, so a
+        # fault-free fabric perturbs no existing randomness.
+        self.links: Dict[str, FabricLink] = {}
+        fault_rules = getattr(config, "link_faults", ())
+        for name, src_id, dst_id in topology.links():
+            rule = next((r for r in fault_rules if r.matches(name)), None)
+            dst_switch = self.switches[dst_id]
+
+            def _deliver(packet: Packet, _dst=dst_switch) -> None:
+                packet.hop += 1
+                _dst.arrive(packet)
+
+            needs_rng = rule is not None and (
+                rule.drop_probability > 0 or rule.corrupt_probability > 0
+            )
+            link = FabricLink(
+                sim,
+                name=name,
+                bandwidth=config.link_bandwidth,
+                latency=config.link_latency,
+                deliver=_deliver,
+                on_drop=self._on_link_drop,
+                drop_probability=rule.drop_probability if rule else 0.0,
+                corrupt_probability=rule.corrupt_probability if rule else 0.0,
+                speed_factor=rule.speed_factor if rule else 1.0,
+                down=rule.down if rule else (),
+                rng=streams.stream(f"network.link.{name}.faults") if needs_rng else None,
+            )
+            self.links[name] = link
+            self.switches[src_id].connect_uplink(dst_switch, link)
         self._message_ids = itertools.count()
         self._pending: Dict[int, _PendingMessage] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        # Packet-conservation ledger (the fault model's bookkeeping).
+        # Invariant at drain: offered == delivered + dropped + corrupted.
+        self.packets_offered = 0  # NIC injections, including retransmits
+        self.packets_delivered = 0  # clean endpoint deliveries
+        self.packets_corrupted = 0  # poisoned endpoint arrivals (retried)
+        self.packets_dropped = 0  # lost on a link (incl. flap losses)
+        self.retransmits_drop = 0
+        self.retransmits_corrupt = 0
         self._register_counters()
 
     def _register_counters(self) -> None:
@@ -124,6 +166,43 @@ class InterconnectNetwork:
             self.sim.register_counter(
                 f"switch{index}.busy_seconds", lambda s=stats: s.busy_time
             )
+        if self.links:
+            self.sim.register_counter(
+                "network.packets_offered", lambda: self.packets_offered
+            )
+            self.sim.register_counter(
+                "network.packets_delivered", lambda: self.packets_delivered
+            )
+            self.sim.register_counter(
+                "network.packets_dropped", lambda: self.packets_dropped
+            )
+            self.sim.register_counter(
+                "network.packets_corrupted", lambda: self.packets_corrupted
+            )
+            self.sim.register_counter(
+                "network.retransmits",
+                lambda: self.retransmits_drop + self.retransmits_corrupt,
+            )
+            for name, link in self.links.items():
+                stats = link.stats
+                self.sim.register_counter(
+                    f"link.{name}.attempted", lambda s=stats: s.attempted
+                )
+                self.sim.register_counter(
+                    f"link.{name}.delivered", lambda s=stats: s.delivered
+                )
+                self.sim.register_counter(
+                    f"link.{name}.dropped", lambda s=stats: s.dropped
+                )
+                self.sim.register_counter(
+                    f"link.{name}.corrupted", lambda s=stats: s.corrupted
+                )
+                self.sim.register_counter(
+                    f"link.{name}.flap_dropped", lambda s=stats: s.flap_dropped
+                )
+                self.sim.register_counter(
+                    f"link.{name}.bytes", lambda s=stats: s.bytes_delivered
+                )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -131,6 +210,26 @@ class InterconnectNetwork:
     def switch(self, index: int = 0):
         """Access a switch (for stats / calibration)."""
         return self.switches[index]
+
+    def link(self, name: str) -> FabricLink:
+        """Access one directed inter-switch link by name (``leaf0->spine1``)."""
+        try:
+            return self.links[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no link named {name!r}; known: {sorted(self.links) or 'none'}"
+            ) from None
+
+    def link_report(self) -> Dict[str, dict]:
+        """Per-link counter snapshot plus utilization (telemetry payload)."""
+        now = self.sim.now
+        report = {}
+        for name, link in self.links.items():
+            row = link.stats.to_dict()
+            row["utilization"] = link.utilization(now)
+            row["faulty"] = link.is_faulty
+            report[name] = row
+        return report
 
     def true_utilization(self, index: int = 0) -> float:
         """Ground-truth utilization of one switch over the stats window.
@@ -149,9 +248,11 @@ class InterconnectNetwork:
         return len(self._pending)
 
     def reset_stats(self) -> None:
-        """Open a fresh measurement window on every fabric."""
+        """Open a fresh measurement window on every fabric and link."""
         for switch in self.switches:
             switch.stats.reset(self.sim.now)
+        for link in self.links.values():
+            link.stats.reset(self.sim.now)
 
     # ------------------------------------------------------------------
     # Message path
@@ -192,19 +293,34 @@ class InterconnectNetwork:
             self.sim.schedule(delay, on_delivered)
             return message_id
 
-        packets = packetize(message_id, nbytes, self.config.mtu, src_node, dst_node, flow=flow)
-        route_ids = self.topology.route(src_node, dst_node)
+        # The flow key drives both ECMP path selection and per-flow
+        # arbitration at NIC/port queues, so a flow's packets never reorder.
+        flow_key = flow if flow is not None else src_node
+        packets = packetize(
+            message_id, nbytes, self.config.mtu, src_node, dst_node, flow=flow_key
+        )
+        route_ids = self.topology.route_flow(src_node, dst_node, flow_key)
         route = tuple(self.switches[i] for i in route_ids)
         for packet in packets:
             packet.route = route
             packet.hop = 0
         self._pending[message_id] = _PendingMessage(len(packets), on_delivered)
 
+        self.packets_offered += len(packets)
         nic = self.nics[src_node]
         nic.inject(packets, route[0].arrive, on_complete=on_sent)
         return message_id
 
     def _on_packet(self, packet: Packet) -> None:
+        if packet.corrupted:
+            # NIC-layer CRC failure: the receiver rejects the packet and the
+            # sender retransmits immediately — exactly once per corruption.
+            self.packets_corrupted += 1
+            self.retransmits_corrupt += 1
+            packet.corrupted = False
+            self.sim.schedule(0.0, self._retransmit, packet)
+            return
+        self.packets_delivered += 1
         pending = self._pending.get(packet.message_id)
         if pending is None:
             raise ConfigurationError(
@@ -214,6 +330,25 @@ class InterconnectNetwork:
         if pending.remaining == 0:
             del self._pending[packet.message_id]
             pending.on_delivered()
+
+    # ------------------------------------------------------------------
+    # Fault recovery (NIC-layer reliable delivery)
+    # ------------------------------------------------------------------
+    def _on_link_drop(self, packet: Packet, reason: str) -> None:
+        """A link lost a packet; recover it after the retransmit timeout."""
+        self.packets_dropped += 1
+        self.retransmits_drop += 1
+        self.sim.schedule(self.config.retransmit_timeout, self._retransmit, packet)
+
+    def _retransmit(self, packet: Packet) -> None:
+        """Re-inject a lost or rejected packet from its source NIC.
+
+        The packet keeps its original route (same flow → same ECMP path),
+        restarting from hop 0 through the source NIC's serializer.
+        """
+        packet.hop = 0
+        self.packets_offered += 1
+        self.nics[packet.src_node].inject([packet], packet.route[0].arrive)
 
     # ------------------------------------------------------------------
     # Convenience constructors

@@ -27,6 +27,8 @@ class Packet:
         route: remaining fabric hops (managed by the network glue).
         injected_at: time the packet entered the source NIC queue.
         arrived_fabric_at: time the packet arrived at the current fabric.
+        corrupted: poisoned by a faulty link in flight; the receiving NIC
+            detects it (CRC) and triggers a retransmit instead of delivery.
     """
 
     __slots__ = (
@@ -41,6 +43,7 @@ class Packet:
         "hop",
         "injected_at",
         "arrived_fabric_at",
+        "corrupted",
     )
 
     def __init__(
@@ -65,6 +68,7 @@ class Packet:
         self.hop = 0
         self.injected_at = -1.0
         self.arrived_fabric_at = -1.0
+        self.corrupted = False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -39,7 +39,7 @@ DeliveryHandler = Callable[[Packet], None]
 
 
 class _SwitchBase:
-    """Shared wiring: endpoint registry and route advancement."""
+    """Shared wiring: endpoint registry, uplinks, and route advancement."""
 
     def __init__(self, sim: Simulator, name: str, egress_latency: float) -> None:
         if egress_latency < 0:
@@ -49,12 +49,25 @@ class _SwitchBase:
         self.egress_latency = egress_latency
         self.stats = FabricStats(sim.now)
         self._endpoints: Dict[int, DeliveryHandler] = {}
+        # Inter-switch uplinks, keyed by id() of the downstream switch.
+        # When present, the link carries (and may drop/corrupt/slow) the
+        # packet; when absent, the next hop is handed the packet directly.
+        self._uplinks: Dict[int, object] = {}
 
     def attach_endpoint(self, node_id: int, handler: DeliveryHandler) -> None:
         """Register the delivery handler for packets destined to ``node_id``."""
         if node_id in self._endpoints:
             raise ConfigurationError(f"node {node_id} already attached to {self.name}")
         self._endpoints[node_id] = handler
+
+    def connect_uplink(self, next_switch: "_SwitchBase", link) -> None:
+        """Wire the :class:`FabricLink` carrying traffic toward ``next_switch``."""
+        key = id(next_switch)
+        if key in self._uplinks:
+            raise ConfigurationError(
+                f"{self.name}: uplink toward {next_switch.name} already connected"
+            )
+        self._uplinks[key] = link
 
     @property
     def attached_ports(self) -> int:
@@ -65,8 +78,13 @@ class _SwitchBase:
         route = packet.route
         if route is not None and packet.hop + 1 < len(route):
             # More fabric hops remain (multi-switch topologies).
+            next_switch = route[packet.hop + 1]
+            link = self._uplinks.get(id(next_switch))
+            if link is not None:
+                link.transmit(packet)  # the link advances the hop on arrival
+                return
             packet.hop += 1
-            route[packet.hop].arrive(packet)
+            next_switch.arrive(packet)
             return
         handler = self._endpoints.get(packet.dst_node)
         if handler is None:

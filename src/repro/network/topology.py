@@ -2,17 +2,25 @@
 
 The paper's experiments use the bottom level of a two-level fat tree: 18
 nodes per QLogic 12300 leaf switch.  :class:`SingleSwitchTopology` is that
-configuration; :class:`FatTreeTopology` models the full two-level tree for
-completeness (routes crossing leaf switches traverse leaf→root→leaf).
+configuration; :class:`FatTreeTopology` models the full two-level leaf–spine
+fabric (routes crossing leaf switches traverse leaf → spine → leaf, with the
+spine chosen by ECMP-style flow hashing).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import hashlib
+from typing import Any, List, Tuple
 
 from ..errors import ConfigurationError
 
-__all__ = ["Topology", "SingleSwitchTopology", "FatTreeTopology"]
+__all__ = [
+    "Topology",
+    "SingleSwitchTopology",
+    "FatTreeTopology",
+    "LeafSpineTopology",
+    "route_node_list",
+]
 
 
 class Topology:
@@ -35,13 +43,42 @@ class Topology:
         raise NotImplementedError
 
     def route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
-        """Ordered switch ids between two (distinct-node) endpoints."""
+        """Ordered switch ids between two **distinct** endpoint nodes."""
         raise NotImplementedError
+
+    def route_flow(
+        self, src_node: int, dst_node: int, flow: Any = None
+    ) -> Tuple[int, ...]:
+        """Route for one flow between two distinct nodes.
+
+        Topologies with path diversity (ECMP) override this so different
+        flows of the same node pair can take different equal-cost paths;
+        the default ignores ``flow`` and delegates to :meth:`route`.
+        """
+        return self.route(src_node, dst_node)
+
+    def links(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Directed inter-switch links as ``(name, src_switch, dst_switch)``.
+
+        Single-switch topologies have none; fabrics enumerate every cabled
+        direction (a full-duplex cable is two directed links, so a fault on
+        one direction never implies a fault on the other).
+        """
+        return ()
 
     def _check_node(self, node_id: int) -> None:
         if not 0 <= node_id < self.node_count:
             raise ConfigurationError(
                 f"node {node_id} out of range [0, {self.node_count})"
+            )
+
+    def _check_pair(self, src_node: int, dst_node: int) -> None:
+        self._check_node(src_node)
+        self._check_node(dst_node)
+        if src_node == dst_node:
+            raise ConfigurationError(
+                f"route needs distinct endpoints, got src == dst == {src_node} "
+                "(intra-node traffic never enters the fabric)"
             )
 
 
@@ -66,30 +103,51 @@ class SingleSwitchTopology(Topology):
         return 0
 
     def route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
-        self._check_node(src_node)
-        self._check_node(dst_node)
+        self._check_pair(src_node, dst_node)
         return (0,)
 
 
-class FatTreeTopology(Topology):
-    """A two-level fat tree: L leaf switches × N nodes each, plus one root tier.
+class LeafSpineTopology(Topology):
+    """A two-level leaf–spine fabric: L leaves × N nodes each, S spines.
 
-    Switch ids: leaves are ``0..leaf_count-1``; root switches follow.  Traffic
+    Switch ids: leaves are ``0..leaf_count-1``; spines follow.  Traffic
     between nodes on the same leaf stays on that leaf; otherwise it goes
-    leaf → root → leaf.  Root selection is deterministic by (src leaf, dst
-    leaf) hash so a fixed pair always shares a path (as with deterministic
-    InfiniBand routing).
+    leaf → spine → leaf, with the spine chosen per *flow* by a seeded
+    deterministic hash of ``(src, dst, flow)`` — ECMP-style flow hashing.
+    A flow therefore always takes the same path (no reordering), while
+    distinct flows spread near-uniformly across the spines.
+
+    Args:
+        leaf_count: number of leaf switches.
+        nodes_per_leaf: compute nodes attached to each leaf.
+        spine_count: number of spine switches.
+        ecmp_seed: seed folded into the flow hash (re-rolling it re-deals
+            flows onto spines without touching any other randomness).
     """
 
-    def __init__(self, leaf_count: int, nodes_per_leaf: int, root_count: int = 1) -> None:
-        if leaf_count < 1 or nodes_per_leaf < 1 or root_count < 1:
+    def __init__(
+        self,
+        leaf_count: int,
+        nodes_per_leaf: int,
+        spine_count: int = 1,
+        ecmp_seed: int = 0,
+    ) -> None:
+        if leaf_count < 1:
             raise ConfigurationError(
-                f"invalid fat tree: leaves={leaf_count}, nodes/leaf={nodes_per_leaf}, "
-                f"roots={root_count}"
+                f"leaf_count must be >= 1, got {leaf_count}"
+            )
+        if nodes_per_leaf < 1:
+            raise ConfigurationError(
+                f"nodes_per_leaf must be >= 1, got {nodes_per_leaf}"
+            )
+        if spine_count < 1:
+            raise ConfigurationError(
+                f"spine_count must be >= 1, got {spine_count}"
             )
         self.leaf_count = leaf_count
         self.nodes_per_leaf = nodes_per_leaf
-        self.root_count = root_count
+        self.spine_count = spine_count
+        self.ecmp_seed = ecmp_seed
 
     @property
     def node_count(self) -> int:
@@ -97,26 +155,83 @@ class FatTreeTopology(Topology):
 
     @property
     def switch_count(self) -> int:
-        return self.leaf_count + self.root_count
+        return self.leaf_count + self.spine_count
 
     def attachment(self, node_id: int) -> int:
         self._check_node(node_id)
         return node_id // self.nodes_per_leaf
 
-    def root_for(self, src_leaf: int, dst_leaf: int) -> int:
-        """Deterministic root-switch choice for a leaf pair."""
-        return self.leaf_count + (src_leaf * 31 + dst_leaf * 17) % self.root_count
+    def switch_name(self, switch_id: int) -> str:
+        """Human-readable switch label (``leaf0`` … / ``spine0`` …)."""
+        if switch_id < self.leaf_count:
+            return f"leaf{switch_id}"
+        return f"spine{switch_id - self.leaf_count}"
+
+    def spine_for(self, src_node: int, dst_node: int, flow: Any = None) -> int:
+        """ECMP spine choice for one flow: a seeded stable hash.
+
+        The hash is a pure function of ``(ecmp_seed, src, dst, flow)`` —
+        independent of construction order, process hash randomization, and
+        anything else in the run — so a flow's path is bit-reproducible
+        across re-runs and catalog permutations.
+        """
+        key = f"{self.ecmp_seed}|{src_node}|{dst_node}|{flow!r}"
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return self.leaf_count + int.from_bytes(digest, "little") % self.spine_count
 
     def route(self, src_node: int, dst_node: int) -> Tuple[int, ...]:
-        self._check_node(src_node)
-        self._check_node(dst_node)
+        return self.route_flow(src_node, dst_node, None)
+
+    def route_flow(
+        self, src_node: int, dst_node: int, flow: Any = None
+    ) -> Tuple[int, ...]:
+        self._check_pair(src_node, dst_node)
         src_leaf = self.attachment(src_node)
         dst_leaf = self.attachment(dst_node)
         if src_leaf == dst_leaf:
             return (src_leaf,)
-        return (src_leaf, self.root_for(src_leaf, dst_leaf), dst_leaf)
+        return (src_leaf, self.spine_for(src_node, dst_node, flow), dst_leaf)
+
+    def links(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Every leaf is cabled to every spine, both directions."""
+        out: List[Tuple[str, int, int]] = []
+        for leaf in range(self.leaf_count):
+            for spine_index in range(self.spine_count):
+                spine = self.leaf_count + spine_index
+                out.append((f"leaf{leaf}->spine{spine_index}", leaf, spine))
+                out.append((f"spine{spine_index}->leaf{leaf}", spine, leaf))
+        return tuple(out)
+
+
+class FatTreeTopology(LeafSpineTopology):
+    """Back-compat name for :class:`LeafSpineTopology`.
+
+    The original class modelled the two-level tree with a fixed per-leaf-pair
+    root choice (``root_for``); routing is now ECMP flow hashing, shared with
+    :class:`LeafSpineTopology`.  ``root_count`` remains an accepted alias for
+    ``spine_count``.
+    """
+
+    def __init__(
+        self,
+        leaf_count: int,
+        nodes_per_leaf: int,
+        root_count: int = 1,
+        ecmp_seed: int = 0,
+    ) -> None:
+        super().__init__(
+            leaf_count, nodes_per_leaf, spine_count=root_count, ecmp_seed=ecmp_seed
+        )
+
+    @property
+    def root_count(self) -> int:
+        return self.spine_count
 
 
 def route_node_list(topology: Topology, src_node: int, dst_node: int) -> List[int]:
-    """Convenience wrapper returning the route as a list (for display)."""
+    """Convenience wrapper returning the route as a list (for display).
+
+    Delegates to :meth:`Topology.route`, so it raises on ``src == dst``
+    exactly like the method it wraps.
+    """
     return list(topology.route(src_node, dst_node))

@@ -1,0 +1,160 @@
+"""Fabric-scenario equivalence and honesty guarantees across engines.
+
+Two promises make the fabric extension safe to trust:
+
+1. A *degenerate* leaf-spine (one leaf, one spine, no faults) is the same
+   physical system as the paper's single switch — the simulation engine
+   must reproduce the single-switch products **bit-identically**, not just
+   approximately.  Anything else means the fabric plumbing perturbs the
+   baseline it claims to generalize.
+2. The analytic M/G/1 engine has no story for lossy links or multi-switch
+   contention.  It must say so (``UnsupportedScenario``) rather than
+   silently returning single-switch answers for a faulted fabric.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.config import LinkFaultConfig, TopologyConfig, scenario_tag
+from repro.core.experiments import (
+    ExperimentDescriptor,
+    PipelineSettings,
+    ReproductionPipeline,
+)
+from repro.core.experiments.pipeline import run_experiment
+from repro.errors import UnsupportedScenario
+from repro.units import MS
+from repro.workloads import FFTW, CompressionConfig
+
+SETTINGS = PipelineSettings(
+    profile="quick",
+    seed=0,
+    impact_duration=0.01,
+    signature_duration=0.01,
+    calibration_duration=0.02,
+    probe_interval=0.1 * MS,
+)
+
+
+def _single():
+    return small_test_config(seed=0)
+
+
+def _degenerate():
+    # Same four nodes, same seed — but built through the fabric code path:
+    # one leaf, one spine, zero faults.
+    return replace(
+        _single(),
+        topology=TopologyConfig(kind="leaf-spine", leaf_count=1,
+                                nodes_per_leaf=4, spine_count=1),
+    )
+
+
+def _faulted():
+    config = replace(
+        _single(),
+        topology=TopologyConfig(kind="leaf-spine", leaf_count=2,
+                                nodes_per_leaf=2, spine_count=1),
+    )
+    return replace(
+        config,
+        network=replace(
+            config.network,
+            link_faults=(LinkFaultConfig(link="*->spine0",
+                                         drop_probability=0.02),),
+        ),
+    )
+
+
+def _product(kind, machine_config, engine="sim"):
+    settings = SETTINGS if engine == "sim" else replace(SETTINGS, engine=engine)
+    return run_experiment(
+        ExperimentDescriptor(
+            key=f"{kind}/equiv",
+            kind=kind,
+            settings=settings,
+            machine_config=machine_config,
+            workload=FFTW(iterations=1, pack_compute=5e-5),
+        )
+    )
+
+
+def _canonical(product):
+    # Bit-identity means identical serialized artifacts (NaN == NaN here:
+    # the artifact bytes are what the cache and reports actually store).
+    return json.dumps(product, sort_keys=True, default=str)
+
+
+@pytest.mark.parametrize("kind", ["calibration", "impact"])
+def test_degenerate_fabric_is_bit_identical_to_single_switch_in_sim(kind):
+    single = _canonical(_product(kind, _single()))
+    degenerate = _canonical(_product(kind, _degenerate()))
+    assert degenerate == single
+
+
+def test_analytic_degenerate_fabric_matches_single_switch():
+    # One leaf collapses to the single-switch M/G/1 the analytic engine
+    # already models, so it must answer — and answer identically.
+    single = _canonical(_product("calibration", _single(), engine="analytic"))
+    degenerate = _canonical(
+        _product("calibration", _degenerate(), engine="analytic")
+    )
+    assert degenerate == single
+
+
+@pytest.mark.parametrize("kind", ["calibration", "impact"])
+def test_analytic_refuses_faulted_fabric(kind):
+    with pytest.raises(UnsupportedScenario):
+        _product(kind, _faulted(), engine="analytic")
+
+
+def test_analytic_refuses_multi_leaf_even_without_faults():
+    healthy_multi_leaf = replace(
+        _single(),
+        topology=TopologyConfig(kind="leaf-spine", leaf_count=2,
+                                nodes_per_leaf=2, spine_count=2),
+    )
+    with pytest.raises(UnsupportedScenario):
+        _product("calibration", healthy_multi_leaf, engine="analytic")
+
+
+def test_sim_handles_the_faulted_fabric_analytic_refused():
+    # The honesty contract cuts both ways: the scenario the analytic
+    # engine rejects is exactly one the simulator must carry end to end.
+    product = _product("calibration", _faulted())
+    assert product["sample_count"] > 0
+    assert product["mean"] > 0
+
+
+def _pipeline(machine_config, cache_path):
+    return ReproductionPipeline(
+        settings=SETTINGS,
+        machine_config=machine_config,
+        applications={"fftw": FFTW(iterations=1, pack_compute=5e-5)},
+        catalog=[CompressionConfig(1, 1, 2.5e6)],
+        cache_path=cache_path,
+    )
+
+
+def test_fabric_and_baseline_campaigns_never_share_cache_keys(tmp_path):
+    # Scenario-qualified keys: a faulted-fabric campaign must not read (or
+    # clobber) the single-switch baseline's cached products.
+    baseline = _pipeline(_single(), tmp_path / "cache")
+    fabric = _pipeline(_faulted(), tmp_path / "cache")
+    assert scenario_tag(baseline.machine_config) is None
+    assert scenario_tag(fabric.machine_config) is not None
+    assert not set(baseline.product_keys()) & set(fabric.product_keys())
+    tag = scenario_tag(fabric.machine_config)
+    assert all(key.startswith(f"{tag}:") for key in fabric.product_keys())
+
+
+def test_degenerate_fabric_still_gets_its_own_cache_namespace(tmp_path):
+    # Even a fault-free degenerate fabric is tagged: its products are
+    # bit-identical to the baseline's, but the cache never assumes so.
+    degenerate = _pipeline(_degenerate(), tmp_path / "cache")
+    assert scenario_tag(degenerate.machine_config) == "ls1x4s1"
+    baseline = _pipeline(_single(), tmp_path / "cache")
+    assert not set(baseline.product_keys()) & set(degenerate.product_keys())

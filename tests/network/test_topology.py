@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.errors import ConfigurationError
 from repro.network import FatTreeTopology, SingleSwitchTopology
+from repro.network.topology import route_node_list
 
 
 def test_single_switch_all_nodes_attach_to_switch_zero():
@@ -65,6 +66,25 @@ def test_fat_tree_validation():
         FatTreeTopology(1, 0)
     with pytest.raises(ConfigurationError):
         FatTreeTopology(1, 1, root_count=0)
+    with pytest.raises(ConfigurationError):
+        FatTreeTopology(-3, 2)
+    with pytest.raises(ConfigurationError):
+        FatTreeTopology(2, -1, root_count=2)
+
+
+def test_route_rejects_equal_endpoints():
+    # src == dst never enters the fabric; route() must refuse it rather
+    # than fabricate a zero-hop path (regression: it used to return (leaf,)).
+    for topo in (SingleSwitchTopology(4), FatTreeTopology(2, 2, root_count=2)):
+        with pytest.raises(ConfigurationError):
+            topo.route(1, 1)
+
+
+def test_route_node_list_rejects_equal_endpoints():
+    topo = FatTreeTopology(2, 2, root_count=2)
+    assert route_node_list(topo, 0, 3) == list(topo.route(0, 3))
+    with pytest.raises(ConfigurationError):
+        route_node_list(topo, 2, 2)
 
 
 @given(
@@ -76,7 +96,11 @@ def test_fat_tree_validation():
 def test_property_fat_tree_routes_start_and_end_correctly(leaves, per_leaf, roots, data):
     topo = FatTreeTopology(leaves, per_leaf, roots)
     src = data.draw(st.integers(min_value=0, max_value=topo.node_count - 1))
-    dst = data.draw(st.integers(min_value=0, max_value=topo.node_count - 1))
+    dst = data.draw(
+        st.integers(min_value=0, max_value=topo.node_count - 1).filter(
+            lambda n: n != src
+        )
+    )
     route = topo.route(src, dst)
     assert route[0] == topo.attachment(src)
     assert route[-1] == topo.attachment(dst)
