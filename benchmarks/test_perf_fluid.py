@@ -1,0 +1,122 @@
+"""Engine-tier scaling benchmark (``BENCH_fluid.json``).
+
+One question: what does each engine tier cost as the fabric grows?  The
+same product set (calibration + one application impact, lulesh — a
+workload that stays inside the fluid validity ceiling at every scale) is
+timed per engine at three machine sizes:
+
+* 18 nodes   — the paper's single switch; all three tiers answer.
+* 128 nodes  — a 4×32 fabric with 4 spines; analytic refuses (recorded as
+  ``null`` + reason), fluid and sim answer.
+* 512 nodes  — the ``large_fabric_config`` preset the fluid tier exists
+  for.
+
+The artifact records wall seconds per (scale, engine) and the
+fluid-over-sim speedup; the assertion pins the tentpole claim — the fluid
+tier is at least 10× faster than packet simulation from 128 nodes up
+(measured margin is orders of magnitude; 10× keeps CI noise-proof).
+"""
+
+import json
+import time
+
+from repro.cluster import cab_config, large_fabric_config, leaf_spine_config
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.engine import ensure_scenario_supported, get_engine
+from repro.errors import UnsupportedScenario
+from repro.units import MS
+from repro.workloads import CompressionConfig, Lulesh
+
+SCALES = [
+    ("18", lambda: cab_config(seed=0)),
+    (
+        "128",
+        lambda: leaf_spine_config(
+            seed=0, leaf_count=4, nodes_per_leaf=32, spine_count=4
+        ),
+    ),
+    ("512", lambda: large_fabric_config(seed=0)),
+]
+ENGINES = ["analytic", "fluid", "sim"]
+
+
+def _pipeline(engine, machine_config):
+    return ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick",
+            seed=0,
+            impact_duration=0.01,
+            signature_duration=0.01,
+            calibration_duration=0.02,
+            probe_interval=0.1 * MS,
+            engine=engine,
+        ),
+        machine_config=machine_config,
+        applications={"lulesh": Lulesh(iterations=2, compute_per_iter=2e-4)},
+        catalog=[CompressionConfig(1, 1, 2.5e6)],
+    )
+
+
+def _time_products(engine, machine_config):
+    """Wall seconds for calibration + the lulesh impact, or a refusal."""
+    try:
+        ensure_scenario_supported(get_engine(engine), machine_config)
+    except UnsupportedScenario as exc:
+        return None, str(exc)
+    pipeline = _pipeline(engine, machine_config)
+    start = time.perf_counter()
+    pipeline.calibration()
+    impact = pipeline.app_impact("lulesh")
+    elapsed = time.perf_counter() - start
+    assert 0.0 <= impact.true_utilization < 0.95
+    return elapsed, None
+
+
+def test_perf_fluid_scaling(artifact_dir):
+    rows = {}
+    for label, build in SCALES:
+        machine_config = build()
+        rows[label] = {"nodes": machine_config.node_count, "engines": {}}
+        for engine in ENGINES:
+            elapsed, reason = _time_products(engine, machine_config)
+            rows[label]["engines"][engine] = {
+                "seconds": None if elapsed is None else round(elapsed, 3),
+                "unsupported": reason,
+            }
+
+    # The analytic tier answers the single switch and nothing larger.
+    assert rows["18"]["engines"]["analytic"]["seconds"] is not None
+    for label in ("128", "512"):
+        assert rows[label]["engines"]["analytic"]["seconds"] is None
+        assert "supported by" in rows[label]["engines"]["analytic"]["unsupported"]
+
+    # The tentpole claim: fluid ≥ 10× faster than packet simulation at scale.
+    speedups = {}
+    for label in ("128", "512"):
+        fluid = rows[label]["engines"]["fluid"]["seconds"]
+        sim = rows[label]["engines"]["sim"]["seconds"]
+        speedups[label] = round(sim / fluid, 1)
+        assert fluid is not None and sim is not None
+        assert sim >= 10.0 * fluid, (
+            f"fluid engine only {sim / fluid:.1f}x faster than sim "
+            f"at {label} nodes"
+        )
+
+    payload = {
+        "products": "calibration + lulesh impact (quick profile)",
+        "scales": rows,
+        "fluid_speedup_over_sim": speedups,
+    }
+    path = artifact_dir / "BENCH_fluid.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    summary = " · ".join(
+        f"{label} nodes: fluid {rows[label]['engines']['fluid']['seconds']}s"
+        + (
+            f" vs sim {rows[label]['engines']['sim']['seconds']}s"
+            f" ({speedups[label]}x)"
+            if label in speedups
+            else ""
+        )
+        for label, _ in SCALES
+    )
+    print(f"\n{summary}\n[artifact saved to {path}]")

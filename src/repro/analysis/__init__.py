@@ -1,5 +1,6 @@
 """Analysis helpers: error statistics, trend fits, ASCII table renderers."""
 
+from .engines import engine_catalog, render_engine_catalog
 from .degradation import LinearFit, fit_degradation_trend, sensitivity_ranking
 from .errors import ErrorSummary, absolute_errors, fraction_within, summarize_errors
 from .fabric import fabric_comparison, render_fabric_comparison, write_fabric_report
@@ -31,6 +32,8 @@ __all__ = [
     "render_histogram",
     "full_report",
     "degradation_curves",
+    "engine_catalog",
+    "render_engine_catalog",
     "fabric_comparison",
     "render_fabric_comparison",
     "write_fabric_report",

@@ -13,6 +13,7 @@ from .specs import (
     FAULT_SCENARIOS,
     cab_config,
     fault_scenario,
+    large_fabric_config,
     leaf_spine_config,
     small_test_config,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "cab_config",
     "small_test_config",
     "leaf_spine_config",
+    "large_fabric_config",
     "FAULT_SCENARIOS",
     "fault_scenario",
 ]

@@ -113,6 +113,29 @@ def leaf_spine_config(
     )
 
 
+def large_fabric_config(
+    seed: int = 0,
+    leaf_count: int = 16,
+    nodes_per_leaf: int = 32,
+    spine_count: int = 8,
+    ecmp_seed: int = 0,
+) -> MachineConfig:
+    """A datacenter-scale leaf-spine preset (default 512 nodes: 16×32, 8 spines).
+
+    The shape the fluid engine exists for — far beyond what the packet
+    engine can simulate in reasonable time, and beyond the analytic tier's
+    single-switch domain.  Per-node hardware stays Cab's; only the fabric
+    grows.  Same knobs as :func:`leaf_spine_config`, different defaults.
+    """
+    return leaf_spine_config(
+        seed=seed,
+        leaf_count=leaf_count,
+        nodes_per_leaf=nodes_per_leaf,
+        spine_count=spine_count,
+        ecmp_seed=ecmp_seed,
+    )
+
+
 def small_test_config(seed: int = 0, node_count: int = 4) -> MachineConfig:
     """A small, fast configuration for unit tests (2 sockets × 2 cores)."""
     return MachineConfig(

@@ -252,6 +252,26 @@ class NetworkConfig:
         """Whether any rule can actually perturb a link."""
         return any(not rule.is_noop for rule in self.link_faults)
 
+    def active_fault_kinds(self) -> Tuple[str, ...]:
+        """Sorted fault kinds at least one non-noop rule exercises.
+
+        Kinds are ``"corrupt"``, ``"drop"``, ``"flap"``, ``"speed"`` — the
+        vocabulary engine capability declarations are matched against.
+        """
+        kinds = set()
+        for rule in self.link_faults:
+            if rule.is_noop:
+                continue
+            if rule.drop_probability > 0.0:
+                kinds.add("drop")
+            if rule.corrupt_probability > 0.0:
+                kinds.add("corrupt")
+            if rule.speed_factor < 1.0:
+                kinds.add("speed")
+            if rule.down:
+                kinds.add("flap")
+        return tuple(sorted(kinds))
+
 
 @dataclass(frozen=True)
 class NodeConfig:

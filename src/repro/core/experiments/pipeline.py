@@ -36,7 +36,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ... import telemetry
 from ...config import MachineConfig, scenario_tag
 from ...core.measurement import ProbeSignature
-from ...engine.base import available_engines, get_engine
+from ...engine.base import (
+    available_engines,
+    ensure_scenario_supported,
+    get_engine,
+)
 from ...errors import CampaignError, ExperimentError, FailureRecord
 from ...faults import active_fault_plan, current_attempt
 from ...parallel import RetryPolicy, default_worker_count, run_tasks
@@ -73,10 +77,11 @@ class PipelineSettings:
         signature_duration: simulated seconds per CompressionB signature run.
         calibration_duration: simulated seconds of idle probing.
         probe_interval: mean probe gap (the paper's 100 ms, scaled ×1/400).
-        engine: experiment backend — ``"sim"`` (discrete-event reference)
-            or ``"analytic"`` (closed-form M/G/1 fast path).  Non-default
-            engines get their own cache namespace (see
-            :meth:`ReproductionPipeline._key`).
+        engine: experiment backend — ``"sim"`` (discrete-event reference),
+            ``"analytic"`` (closed-form M/G/1 fast path, single switch
+            only), or ``"fluid"`` (flow-level per-link fixed points for
+            large fabrics).  Non-default engines get their own cache
+            namespace (see :meth:`ReproductionPipeline._key`).
     """
 
     profile: str = "paper"
@@ -137,9 +142,17 @@ def run_experiment(descriptor: ExperimentDescriptor) -> object:
 
     Dispatches to the engine named in the descriptor's settings (``"sim"``
     resolves to the discrete-event reference, ``"analytic"`` to the M/G/1
-    fast path).  Pure for a fixed engine: the product is a function of the
-    descriptor alone, so results are identical whether this runs in the
-    driver process or a pool worker.
+    fast path, ``"fluid"`` to the flow-level fabric solver).  Pure for a
+    fixed engine: the product is a function of the descriptor alone, so
+    results are identical whether this runs in the driver process or a
+    pool worker.
+
+    Capability dispatch happens here, at the registry level: the scenario
+    is checked against the engine's declared
+    :meth:`~repro.engine.base.ExperimentEngine.capabilities` before the
+    engine sees the descriptor, so an unsupported scenario raises
+    :class:`~repro.errors.UnsupportedScenario` (naming the engines that do
+    support it) identically whichever engine was asked.
 
     This is also the fault-injection point of the engine seam: an active
     :class:`~repro.faults.FaultPlan` naming this descriptor's key fires
@@ -149,7 +162,9 @@ def run_experiment(descriptor: ExperimentDescriptor) -> object:
     plan = active_fault_plan()
     if plan is not None:
         plan.on_experiment(descriptor.key, current_attempt())
-    value = get_engine(descriptor.settings.engine).run(descriptor)
+    engine = get_engine(descriptor.settings.engine)
+    ensure_scenario_supported(engine, descriptor.machine_config)
+    value = engine.run(descriptor)
     # Counted here, not in the driver: the increment happens in whichever
     # process actually executed the experiment, so worker tallies merge
     # back through the chunk envelope and the campaign-wide count is exact.
@@ -589,6 +604,16 @@ class ReproductionPipeline:
         the failure budget, and writes a machine-readable
         ``failure_report.json`` next to the shards either way.
 
+        Deterministic model refusals — an engine raising
+        :class:`~repro.errors.AnalyticModelError` because a workload drives
+        a resource past its validity ceiling — are recorded as
+        ``unsupported`` holes (their dependents too) but are *exempt* from
+        the failure budget: the budget guards against infrastructure
+        flakiness, while a refusal is the model honestly declining a
+        scenario outside its domain.  A campaign on an oversubscribed
+        fabric thus completes with documented holes for the workloads that
+        saturate it, instead of failing outright.
+
         Args:
             workers: process count (``None`` → the pipeline's default).
             chunksize: descriptors per pool submission (``None`` → default).
@@ -672,10 +697,15 @@ class ReproductionPipeline:
         )
 
         # Stage two only builds descriptors whose baseline actually landed;
-        # dependents of a failed baseline become dependency records, not runs.
+        # dependents of a failed baseline become dependency records, not runs
+        # (or ``unsupported`` records when the baseline was a model refusal).
+        refused = {
+            record.key for record in failures if record.category == "unsupported"
+        }
         stage_two: List[ExperimentDescriptor] = []
         for name in self.app_names:
-            has_baseline = self._key(f"baseline/{name}") in self._cache
+            baseline_key = self._key(f"baseline/{name}")
+            has_baseline = baseline_key in self._cache
             for config in self.catalog:
                 key = self._key(f"degradation/{name}/{config.label}")
                 if key not in pending:
@@ -683,9 +713,14 @@ class ReproductionPipeline:
                 if has_baseline:
                     stage_two.append(self._degradation_descriptor(name, config))
                 else:
-                    failures.append(self._dependency_record(key, "degradation", name))
+                    failures.append(
+                        self._dependency_record(
+                            key, "degradation", name, unsupported=baseline_key in refused
+                        )
+                    )
         for measured in self.app_names:
-            has_baseline = self._key(f"baseline/{measured}") in self._cache
+            baseline_key = self._key(f"baseline/{measured}")
+            has_baseline = baseline_key in self._cache
             for other in self.app_names:
                 key = self._key(f"pair/{measured}/{other}")
                 if key not in pending:
@@ -693,7 +728,11 @@ class ReproductionPipeline:
                 if has_baseline:
                     stage_two.append(self._pair_descriptor(measured, other))
                 else:
-                    failures.append(self._dependency_record(key, "pair", measured))
+                    failures.append(
+                        self._dependency_record(
+                            key, "pair", measured, unsupported=baseline_key in refused
+                        )
+                    )
         staged(
             "dependents",
             lambda: self._run_stage(stage_two, count, chunk, progress, failures, transients),
@@ -704,15 +743,22 @@ class ReproductionPipeline:
         telemetry_path = self._write_telemetry_report(
             telemetry_on, phases, self._campaign_meta(count, start, failures, transients), start
         )
-        if len(failures) > budget:
+        # ``unsupported`` records are deterministic model refusals (and their
+        # cascades) — documented holes, not flakiness — so only the other
+        # categories are charged against the failure budget.
+        budgeted = [record for record in failures if record.category != "unsupported"]
+        unsupported = len(failures) - len(budgeted)
+        if len(budgeted) > budget:
             raise CampaignError(
-                f"{len(failures)} experiment(s) failed permanently, exceeding "
+                f"{len(budgeted)} experiment(s) failed permanently, exceeding "
                 f"the failure budget of {budget}: "
-                + "; ".join(record.describe() for record in failures),
+                + "; ".join(record.describe() for record in budgeted),
                 failures,
             )
         if self.verbose and pending:
             holes = f", {len(failures)} hole(s)" if failures else ""
+            if unsupported:
+                holes += f" ({unsupported} unsupported by this engine)"
             print(
                 f"[pipeline] campaign complete: {len(pending) - len(failures)} "
                 f"experiment(s){holes} in {elapsed:.1f}s with {count} worker(s)",
@@ -724,6 +770,7 @@ class ReproductionPipeline:
             "executed": len(pending) - len(failures),
             "cached": len(self.product_keys()) - len(pending),
             "failed": len(failures),
+            "unsupported": unsupported,
             "retried": len(transients),
             "elapsed": elapsed,
             "workers": count,
@@ -777,7 +824,24 @@ class ReproductionPipeline:
         self._cache.directory.mkdir(parents=True, exist_ok=True)
         return write_report(self._cache.directory / TELEMETRY_REPORT_NAME, document)
 
-    def _dependency_record(self, key: str, kind: str, app: str) -> FailureRecord:
+    def _dependency_record(
+        self, key: str, kind: str, app: str, unsupported: bool = False
+    ) -> FailureRecord:
+        """A never-attempted hole whose input product failed upstream.
+
+        When the upstream failure was a model refusal (``unsupported``), the
+        cascade inherits that category — the dependent is missing because of
+        a documented model limit, not infrastructure flakiness, so it must
+        not count against the failure budget either.
+        """
+        if unsupported:
+            return FailureRecord(
+                key=key,
+                category="unsupported",
+                message=f"baseline/{app} unavailable (model refusal upstream)",
+                attempts=0,
+                kind=kind,
+            )
         return FailureRecord(
             key=key,
             category="dependency",

@@ -2,29 +2,44 @@
 
 The reproduction pipeline describes every experiment as an
 :class:`~repro.core.experiments.pipeline.ExperimentDescriptor` and hands it
-to a registered :class:`ExperimentEngine` for execution.  Two engines ship
-built-in:
+to a registered :class:`ExperimentEngine` for execution.  Three engines
+ship built-in:
 
 * ``sim`` (:mod:`repro.engine.simulation`) — the discrete-event simulator,
-  the default and the reference: bit-identical to the pre-engine pipeline.
+  the default and the reference: bit-identical to the pre-engine pipeline
+  and the only engine that models link faults.
 * ``analytic`` (:mod:`repro.engine.analytic`) — a closed-form M/G/1
   fast path that answers the same descriptors from queueing math in
-  milliseconds, failing loudly outside its validity range.
+  milliseconds; single switch only.
+* ``fluid`` (:mod:`repro.engine.fluid`) — flow-level fixed points over the
+  per-switch/per-link demand the :mod:`repro.scenario` seam produces;
+  scales healthy leaf-spine campaigns to 1000+ nodes.
+
+Every engine declares :class:`EngineCapabilities`; the pipeline checks a
+descriptor's scenario against them via :func:`ensure_scenario_supported`
+before dispatch, so unsupported scenarios fail identically (naming the
+engines that would work) whichever engine was asked.
 
 Only the registry is imported here; engine modules load lazily via
 :func:`get_engine` to keep the import graph acyclic.
 """
 
 from .base import (
+    EngineCapabilities,
     ExperimentEngine,
     available_engines,
+    ensure_scenario_supported,
     get_engine,
     register_engine,
+    supporting_engines,
 )
 
 __all__ = [
+    "EngineCapabilities",
     "ExperimentEngine",
     "register_engine",
     "get_engine",
     "available_engines",
+    "ensure_scenario_supported",
+    "supporting_engines",
 ]

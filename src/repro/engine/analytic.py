@@ -38,11 +38,11 @@ import numpy as np
 from .. import telemetry
 from ..config import MachineConfig
 from ..core.measurement import LatencyCollector, LatencyHistogram
-from ..errors import AnalyticModelError, ExperimentError, UnsupportedScenario
+from ..errors import AnalyticModelError, ExperimentError
 from ..queueing import ServiceEstimate, pk_waiting_time, sojourn_from_utilization
 from ..workloads import CompressionB, ImpactB, Workload
 from ..workloads.traffic import TrafficSummary
-from .base import ExperimentEngine, register_engine
+from .base import EngineCapabilities, ExperimentEngine, register_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.experiments.pipeline import ExperimentDescriptor, PipelineSettings
@@ -186,9 +186,25 @@ class AnalyticEngine(ExperimentEngine):
                 )
         return result
 
+    def capabilities(self) -> EngineCapabilities:
+        """Single-switch M/G/1 only: no fabrics, no faults.
+
+        A degenerate leaf-spine (one leaf, no faults) *is* the single
+        switch — all traffic stays on the leaf — so ``max_leaves=1`` admits
+        it and the math collapses to the single-switch formulas.  Multi-leaf
+        fabrics are out (the aggregate :class:`TrafficSummary` cannot be
+        split across inter-switch links — that is the fluid engine's job)
+        and so is every fault kind.
+        """
+        return EngineCapabilities(
+            topologies=("single", "leaf-spine"),
+            max_leaves=1,
+            fault_kinds=(),
+            summary="closed-form M/G/1 fixed point; single switch only",
+        )
+
     def _dispatch(self, descriptor: "ExperimentDescriptor") -> object:
         settings = descriptor.settings
-        self._check_scenario(descriptor.machine_config)
         model = SwitchModel(descriptor.machine_config)
         if descriptor.kind == "calibration":
             return self._calibration(model, settings)
@@ -206,29 +222,6 @@ class AnalyticEngine(ExperimentEngine):
                 model, descriptor.workload, descriptor.other, descriptor.baseline
             )
         raise ExperimentError(f"unknown descriptor kind {descriptor.kind!r}")
-
-    @staticmethod
-    def _check_scenario(config: MachineConfig) -> None:
-        """Refuse fabric scenarios the M/G/1 algebra cannot honestly model.
-
-        A degenerate leaf-spine (one leaf, no faults) *is* the single
-        switch — all traffic stays on the leaf — so it passes through and
-        collapses to the existing math.  Anything with cross-leaf traffic
-        or link faults raises :class:`UnsupportedScenario`: the aggregate
-        :class:`TrafficSummary` cannot be split across inter-switch links,
-        and a faulted fabric must never silently get single-switch answers.
-        """
-        topology = config.topology
-        if config.network.has_link_faults:
-            raise UnsupportedScenario(
-                "analytic engine cannot model per-link faults; "
-                "use the simulation engine for faulted fabrics"
-            )
-        if topology.kind == "leaf-spine" and topology.leaf_count > 1:
-            raise UnsupportedScenario(
-                f"analytic engine cannot model a {topology.leaf_count}-leaf "
-                "fabric (no per-link traffic split); use the simulation engine"
-            )
 
     # ------------------------------------------------------------------
     # Fixed point

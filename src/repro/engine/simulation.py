@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 from .. import telemetry
 from ..errors import ExperimentError
 from ..queueing import ServiceEstimate
-from .base import ExperimentEngine, register_engine
+from .base import EngineCapabilities, ExperimentEngine, register_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.experiments.pipeline import ExperimentDescriptor
@@ -25,6 +25,12 @@ class SimulationEngine(ExperimentEngine):
     """Executes descriptors on the event-driven simulator (the reference)."""
 
     name = "sim"
+
+    def capabilities(self) -> EngineCapabilities:
+        """The reference engine models everything the config can express."""
+        return EngineCapabilities(
+            summary="packet-level discrete-event simulation (ground truth)",
+        )
 
     def run(self, descriptor: "ExperimentDescriptor") -> object:
         with telemetry.span(f"solve:{descriptor.kind}", "engine", engine=self.name):

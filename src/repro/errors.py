@@ -84,12 +84,14 @@ class AnalyticModelError(ExperimentError):
 
 
 class UnsupportedScenario(AnalyticModelError):
-    """The analytic engine cannot model this fabric scenario at all.
+    """A scenario exceeds the chosen engine's declared capabilities.
 
-    Raised for multi-leaf topologies (the aggregate traffic summary cannot
-    be split across inter-switch links) and for any per-link fault model —
-    a faulted fabric must never silently receive single-switch answers.
-    The simulation engine handles every scenario; use it instead.
+    Raised by registry-level capability dispatch
+    (:func:`repro.engine.ensure_scenario_supported`) before an engine ever
+    sees the descriptor — a scenario an engine cannot model must never
+    silently receive wrong answers (e.g. single-switch math for a faulted
+    fabric).  The message names the engines that *do* support the scenario;
+    the packet-level simulation engine handles every scenario.
     """
 
 
@@ -124,7 +126,30 @@ class InjectedFault(ReproError):
 #:                    OOM kill) and took the pool down with it.
 #: ``dependency``   — never attempted: an input product (e.g. the app's
 #:                    baseline) failed upstream.
-FAILURE_CATEGORIES = ("exception", "timeout", "worker-crash", "dependency")
+#: ``unsupported``  — the engine deterministically refused the scenario
+#:                    (:class:`AnalyticModelError`: model-domain limit such
+#:                    as utilization beyond the validity ceiling), or the
+#:                    product depends on such a refusal.  Deterministic, so
+#:                    never retried; a documented hole, exempt from the
+#:                    failure budget (which guards against infrastructure
+#:                    flakiness, not model limits).
+FAILURE_CATEGORIES = ("exception", "timeout", "worker-crash", "dependency", "unsupported")
+
+#: Exception type names whose task failures are model refusals, not bugs:
+#: deterministic "this scenario is outside my validity domain" errors.  The
+#: runner sees worker exceptions stringified as ``"TypeName: detail"``, so
+#: classification is by concrete type name.
+MODEL_REFUSAL_TYPES = ("AnalyticModelError", "UnsupportedScenario")
+
+
+def classify_failure_message(message: str) -> str:
+    """Failure category for a stringified task exception (``"TypeName: detail"``).
+
+    Model refusals (:data:`MODEL_REFUSAL_TYPES`) classify as ``unsupported``;
+    everything else is a plain ``exception``.
+    """
+    type_name = message.split(":", 1)[0]
+    return "unsupported" if type_name in MODEL_REFUSAL_TYPES else "exception"
 
 
 @dataclass

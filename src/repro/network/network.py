@@ -221,10 +221,16 @@ class InterconnectNetwork:
             ) from None
 
     def link_report(self) -> Dict[str, dict]:
-        """Per-link counter snapshot plus utilization (telemetry payload)."""
+        """Per-link counter snapshot plus utilization (telemetry payload).
+
+        Links are emitted in sorted-name order — not dict-insertion order,
+        which would leak topology construction order into JSON artifacts
+        and make otherwise-identical reports diff noisily.
+        """
         now = self.sim.now
         report = {}
-        for name, link in self.links.items():
+        for name in sorted(self.links):
+            link = self.links[name]
             row = link.stats.to_dict()
             row["utilization"] = link.utilization(now)
             row["faulty"] = link.is_faulty

@@ -57,6 +57,18 @@ class Topology:
         """
         return self.route(src_node, dst_node)
 
+    def equal_cost_routes(
+        self, src_node: int, dst_node: int
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Every route ECMP flow hashing can assign to this node pair.
+
+        This is the demand-side export of the routing function: flow-level
+        engines split a pair's offered load evenly across these routes, which
+        is exactly the long-run split :meth:`route_flow`'s uniform flow hash
+        produces.  The default (no path diversity) is the single route.
+        """
+        return (self.route(src_node, dst_node),)
+
     def links(self) -> Tuple[Tuple[str, int, int], ...]:
         """Directed inter-switch links as ``(name, src_switch, dst_switch)``.
 
@@ -191,6 +203,25 @@ class LeafSpineTopology(Topology):
         if src_leaf == dst_leaf:
             return (src_leaf,)
         return (src_leaf, self.spine_for(src_node, dst_node, flow), dst_leaf)
+
+    def equal_cost_routes(
+        self, src_node: int, dst_node: int
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Same-leaf pairs have one route; cross-leaf pairs one per spine.
+
+        :meth:`spine_for` hashes flows near-uniformly onto spines, so the
+        long-run demand split across these routes is even — engines that
+        consume this enumeration agree with the packet engine's routing.
+        """
+        self._check_pair(src_node, dst_node)
+        src_leaf = self.attachment(src_node)
+        dst_leaf = self.attachment(dst_node)
+        if src_leaf == dst_leaf:
+            return ((src_leaf,),)
+        return tuple(
+            (src_leaf, self.leaf_count + spine, dst_leaf)
+            for spine in range(self.spine_count)
+        )
 
     def links(self) -> Tuple[Tuple[str, int, int], ...]:
         """Every leaf is cabled to every spine, both directions."""

@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from .. import faults, telemetry
-from ..errors import ConfigurationError, ExperimentError, FailureRecord
+from ..errors import (
+    ConfigurationError,
+    ExperimentError,
+    FailureRecord,
+    classify_failure_message,
+)
 
 __all__ = [
     "map_experiments",
@@ -285,7 +290,12 @@ class _Scheduler:
         del self.tasks[task.index]
 
     def _fail_attempt(self, task: _Task, category: str, message: str) -> None:
-        """Charge one failed attempt; requeue with backoff or record the hole."""
+        """Charge one failed attempt; requeue with backoff or record the hole.
+
+        ``unsupported`` failures (deterministic model refusals) go terminal
+        on the first attempt — retrying a deterministic refusal can only
+        waste the retry budget's wall clock.
+        """
         elapsed = time.monotonic() - task.started if task.started else 0.0
         record = FailureRecord(
             key=task.key,
@@ -294,7 +304,7 @@ class _Scheduler:
             attempts=task.attempt,
             elapsed=elapsed,
         )
-        if task.attempt >= self.policy.max_attempts:
+        if task.attempt >= self.policy.max_attempts or category == "unsupported":
             self.report.failures.append(record)
             _record_attempt_failure(category, terminal=True)
             del self.tasks[task.index]
@@ -404,7 +414,7 @@ class _Scheduler:
                     if error is None:
                         self._land(task, value)
                     else:
-                        self._fail_attempt(task, "exception", error)
+                        self._fail_attempt(task, classify_failure_message(error), error)
             elif isinstance(exc, BrokenProcessPool):
                 broken = True
                 for task in chunk:
@@ -441,7 +451,7 @@ class _Scheduler:
                     if error is None:
                         self._land(task, value)
                     else:
-                        self._fail_attempt(task, "exception", error)
+                        self._fail_attempt(task, classify_failure_message(error), error)
             else:
                 for task in chunk:
                     if task.index in self.tasks:
@@ -475,7 +485,7 @@ class _Scheduler:
                     if error is None:
                         self._land(task, value)
                     else:
-                        self._fail_attempt(task, "exception", error)
+                        self._fail_attempt(task, classify_failure_message(error), error)
             elif future in guilty:
                 for task in chunk:
                     if task.index in self.tasks:
@@ -508,21 +518,23 @@ def _run_serial(
                 with telemetry.span(f"task:{task.key}", "runner", attempt=task.attempt):
                     value = function(task.item)  # type: ignore[arg-type]
             except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}"
+                category = classify_failure_message(message)
                 record = FailureRecord(
                     key=task.key,
-                    category="exception",
-                    message=f"{type(exc).__name__}: {exc}",
+                    category=category,
+                    message=message,
                     attempts=task.attempt,
                     elapsed=time.monotonic() - task.started,
                 )
-                if task.attempt >= policy.max_attempts:
+                if task.attempt >= policy.max_attempts or category == "unsupported":
                     report.failures.append(record)
-                    _record_attempt_failure("exception", terminal=True)
+                    _record_attempt_failure(category, terminal=True)
                     break
                 report.transients.append(record)
                 task.attempt += 1
                 delay = policy.backoff_delay(task.key, task.attempt)
-                _record_attempt_failure("exception", terminal=False, delay=delay)
+                _record_attempt_failure(category, terminal=False, delay=delay)
                 if delay > 0:
                     time.sleep(delay)
                 continue

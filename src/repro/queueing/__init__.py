@@ -8,7 +8,7 @@ from .estimators import (
     sojourn_from_utilization,
     utilization_from_sojourn,
 )
-from .mg1 import MG1, pk_sojourn_time, pk_waiting_time
+from .mg1 import MG1, pk_sojourn_time, pk_waiting_time, pk_waiting_times
 from .mm1 import MM1
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "MM1",
     "ServiceEstimate",
     "pk_waiting_time",
+    "pk_waiting_times",
     "pk_sojourn_time",
     "arrival_rate_from_sojourn",
     "utilization_from_sojourn",

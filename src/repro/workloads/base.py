@@ -49,6 +49,20 @@ class Workload(ABC):
             "run it on the simulation engine instead"
         )
 
+    def demand_weights(self, config: MachineConfig):
+        """Node-pair weights distributing :meth:`traffic` over the fabric.
+
+        Returns an ``(n, n)`` array (zero diagonal) whose normalized entries
+        say what fraction of the workload's switch-traversing traffic flows
+        from node *i* to node *j*; :class:`repro.scenario.ScenarioSpec` turns
+        it into a :class:`~repro.scenario.DemandMatrix`.  The default is
+        uniform over all ordered internode pairs — workloads with real
+        communication structure (probe pairs, partner rings) override this.
+        """
+        from ..scenario import uniform_node_weights
+
+        return uniform_node_weights(config.node_count)
+
     def __call__(self, ctx: RankContext) -> Generator[Any, Any, Any]:
         return self.build(ctx)
 

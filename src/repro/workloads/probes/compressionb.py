@@ -122,6 +122,12 @@ class CompressionB(Workload):
             period=self.config.sleep_cycles / config.node.clock_hz,
         )
 
+    def demand_weights(self, config: MachineConfig):
+        """Ring structure: each node sends to its P nearest ring predecessors."""
+        from ...scenario import ring_node_weights
+
+        return ring_node_weights(config.node_count, self.config.partners)
+
     # ------------------------------------------------------------------
     def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
         ring = self._ring(ctx)

@@ -85,6 +85,12 @@ class ImpactB(Workload):
             period=self.interval,
         )
 
+    def demand_weights(self, config: MachineConfig) -> np.ndarray:
+        """Probe traffic flows only within adjacent node pairs (2i ↔ 2i+1)."""
+        from ...scenario import paired_node_weights
+
+        return paired_node_weights(config.node_count)
+
     # ------------------------------------------------------------------
     def build(self, ctx: RankContext) -> Generator[Any, Any, Any]:
         partner = self._partner_rank(ctx)

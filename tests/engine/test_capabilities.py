@@ -1,0 +1,157 @@
+"""Registry-level capability dispatch and the ``repro engines`` listing.
+
+One place decides whether an engine may see a scenario: the registry reads
+each engine's declared :class:`EngineCapabilities` and refuses dispatch
+with an error that names the engines that *can* handle it.  These tests
+pin the declarations, the dispatch decisions, the catalog rendering, the
+CLI subcommand, and the deterministic link-report ordering the fabric
+telemetry relies on.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import engine_catalog, render_engine_catalog
+from repro.cluster import cab_config, fault_scenario, leaf_spine_config
+from repro.config import NetworkConfig
+from repro.engine import (
+    ensure_scenario_supported,
+    get_engine,
+    supporting_engines,
+)
+from repro.errors import UnsupportedScenario
+from repro.network import DeterministicService, InterconnectNetwork, LeafSpineTopology
+from repro.sim import RandomStreams, Simulator
+from repro.units import KB, US
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _faulted():
+    return leaf_spine_config(seed=0, faults=fault_scenario("lossy-spine"))
+
+
+def _healthy_fabric():
+    return leaf_spine_config(seed=0, leaf_count=4, nodes_per_leaf=4, spine_count=2)
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+def test_declared_capabilities():
+    sim = get_engine("sim").capabilities()
+    analytic = get_engine("analytic").capabilities()
+    fluid = get_engine("fluid").capabilities()
+    # Ground truth claims everything.
+    assert sim.unsupported_reason(_faulted()) is None
+    assert sim.unsupported_reason(cab_config(seed=0)) is None
+    # Closed form: single switch only, no faults.
+    assert analytic.max_leaves == 1
+    assert analytic.fault_kinds == ()
+    # Flow level: any healthy fabric, no faults.
+    assert fluid.fault_kinds == ()
+    assert fluid.unsupported_reason(_healthy_fabric()) is None
+
+
+def test_active_fault_kinds_feeds_the_dispatch():
+    assert cab_config(seed=0).network.active_fault_kinds() == ()
+    assert _faulted().network.active_fault_kinds() == ("drop",)
+    degraded = leaf_spine_config(seed=0, faults=fault_scenario("degraded-spine"))
+    assert degraded.network.active_fault_kinds() == ("speed",)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def test_analytic_refusal_names_the_supporting_engines():
+    with pytest.raises(UnsupportedScenario) as excinfo:
+        ensure_scenario_supported(get_engine("analytic"), _healthy_fabric())
+    message = str(excinfo.value)
+    assert "'analytic'" in message
+    assert "supported by: fluid, sim" in message
+
+
+def test_fluid_refusal_on_faults_points_at_sim():
+    with pytest.raises(UnsupportedScenario) as excinfo:
+        ensure_scenario_supported(get_engine("fluid"), _faulted())
+    message = str(excinfo.value)
+    assert "drop" in message
+    assert "supported by: sim" in message
+
+
+def test_supporting_engines_partition():
+    assert supporting_engines(_faulted()) == ["sim"]
+    assert supporting_engines(_healthy_fabric()) == ["fluid", "sim"]
+    assert supporting_engines(cab_config(seed=0)) == ["analytic", "fluid", "sim"]
+
+
+@pytest.mark.parametrize("name", ["sim", "analytic", "fluid"])
+def test_every_engine_accepts_the_single_switch(name):
+    ensure_scenario_supported(get_engine(name), cab_config(seed=0))
+
+
+# ----------------------------------------------------------------------
+# Catalog and CLI
+# ----------------------------------------------------------------------
+def test_engine_catalog_lists_all_tiers_sorted():
+    catalog = engine_catalog()
+    names = [row["name"] for row in catalog]
+    assert names == sorted(names)
+    assert {"sim", "analytic", "fluid"} <= set(names)
+    by_name = {row["name"]: row for row in catalog}
+    assert by_name["analytic"]["max_leaves"] == 1
+    assert by_name["fluid"]["fault_kinds"] == []
+
+
+def test_render_engine_catalog_is_a_table():
+    text = render_engine_catalog(engine_catalog())
+    lines = text.splitlines()
+    assert lines[0].startswith("engine")
+    assert any(line.startswith("fluid") for line in lines)
+    assert any("ground truth" in line for line in lines)
+
+
+def _cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_engines_subcommand_renders_the_catalog():
+    result = _cli("engines")
+    assert result.returncode == 0, result.stderr
+    assert "fluid" in result.stdout
+    assert "analytic" in result.stdout
+    assert "sim" in result.stdout
+
+
+def test_cli_engines_json_round_trips():
+    result = _cli("engines", "--json")
+    assert result.returncode == 0, result.stderr
+    rows = json.loads(result.stdout)
+    assert {row["name"] for row in rows} >= {"sim", "analytic", "fluid"}
+
+
+# ----------------------------------------------------------------------
+# Deterministic link reports
+# ----------------------------------------------------------------------
+def test_link_report_is_sorted_by_link_name():
+    sim = Simulator()
+    topology = LeafSpineTopology(leaf_count=3, nodes_per_leaf=2, spine_count=2)
+    config = NetworkConfig(
+        switch_mode="central", fabric_service=DeterministicService(0.8 * US)
+    )
+    network = InterconnectNetwork(sim, topology, config, RandomStreams(0))
+    network.send(0, 5, 4 * KB, on_delivered=lambda: None)
+    sim.run()
+    names = list(network.link_report())
+    assert names == sorted(names)
+    assert len(names) == 3 * 2 * 2  # leaves × spines, both directions
