@@ -1,0 +1,333 @@
+"""Serving-tier load harness: sustained concurrency + hot reload under load.
+
+Two scenarios against a real :class:`~repro.serving.server.PredictionServer`
+over real HTTP (loopback), with the paper-shaped 6-app × 40-config catalog:
+
+1. **Sustained concurrent load** — N client threads fire ``/predict`` and
+   ``/predict/batch`` requests back-to-back; the harness asserts a
+   throughput floor and a p99 latency ceiling, reading latency both
+   client-side (exact) and from the server's own
+   ``serving.request_seconds`` histogram (the metric an operator would
+   alert on).
+
+2. **Hot reload under load** — the server follows a
+   :class:`~repro.serving.registry.ModelRegistry`; mid-load, ``v2`` is
+   promoted over ``v1``.  Asserted: **zero** failed requests, every client
+   thread's observed version stream flips exactly once (the engine swap is
+   one atomic reference assignment), and post-flip responses are
+   bit-identical to an engine rebuilt from the registry's ``v2`` artifact.
+
+Both land their measurements in ``BENCH_serving.json``.
+"""
+
+import concurrent.futures
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.experiments import CompressionObservation
+from repro.core.experiments.impact import ImpactResult
+from repro.core.measurement import ProbeSignature
+from repro.queueing import ServiceEstimate, sojourn_from_utilization
+from repro.serving import ModelArtifact, ModelRegistry, PredictionServer
+from repro.workloads import CompressionConfig
+
+CAL = ServiceEstimate(mean=1e-6, variance=1e-13, minimum=0.8e-6, sample_count=200)
+APPS = ("fftw", "lulesh", "mcb", "milc", "vpfft", "amg")
+CONFIGS = 40
+
+CLIENT_THREADS = 8
+REQUESTS_PER_THREAD = 60
+BATCH_TRIPLES = 24  # size of each /predict/batch request
+
+# Conservative floors: a warm stdlib ThreadingHTTPServer on one loopback
+# core clears these with an order of magnitude to spare; they exist to
+# catch serving-path regressions, not to brag.
+THROUGHPUT_FLOOR_RPS = 50.0
+P99_CEILING_SECONDS = 0.5
+
+
+def _signature(rho: float, seed: int) -> ProbeSignature:
+    target_mean = sojourn_from_utilization(rho, CAL.rate, CAL.variance)
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(target_mean, target_mean * 0.05, 300).clip(1e-9)
+    return ProbeSignature.from_samples(samples, CAL)
+
+
+def _artifact(seed: int = 0) -> ModelArtifact:
+    rhos = np.linspace(0.05, 0.9, CONFIGS)
+    observations = [
+        CompressionObservation(
+            config=CompressionConfig(
+                partners=(i % 8) + 1, messages=(i // 8) + 1, sleep_cycles=2.5e5
+            ),
+            impact=ImpactResult(
+                signature=_signature(float(rho), seed=seed * 5000 + i),
+                true_utilization=float(rho),
+                sim_time=0.01,
+            ),
+        )
+        for i, rho in enumerate(rhos)
+    ]
+    rng = np.random.default_rng(7 + seed)
+    degradations = {
+        app: {
+            obs.label: float(100.0 * rho**1.5 + rng.uniform(-2, 2))
+            for obs, rho in zip(observations, rhos)
+        }
+        for app in APPS
+    }
+    signatures = {
+        app: _signature(float(rng.uniform(0.1, 0.85)), seed=seed * 7000 + 1000 + j)
+        for j, app in enumerate(APPS)
+    }
+    return ModelArtifact(
+        observations=observations,
+        degradations=degradations,
+        signatures=signatures,
+        calibration=CAL,
+        metadata={"seed": seed},
+    )
+
+
+def _get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as response:
+        return json.loads(response.read())
+
+
+def _post(port: int, path: str, document: dict) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(document).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _histogram_percentile(state: dict, quantile: float) -> float:
+    """Upper-edge percentile estimate from a log₂-bucket histogram state."""
+    count = int(state["count"])
+    if count == 0:
+        return float("nan")
+    exponents = sorted(int(k) for k in state["buckets"] if k != "zero")
+    target = quantile * count
+    seen = state["buckets"].get("zero", 0)
+    for exponent in exponents:
+        seen += state["buckets"][str(exponent)]
+        if seen >= target:
+            return 2.0 ** (exponent + 1)
+    return float(state["max"])  # pragma: no cover - rounding tail
+
+
+def _merge_bench(artifact_dir, section: str, payload: dict) -> None:
+    path = artifact_dir / "BENCH_serving.json"
+    document = json.loads(path.read_text()) if path.exists() else {}
+    document[section] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\n[{section} merged into {path}]")
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: sustained concurrent load
+# ----------------------------------------------------------------------
+def test_perf_serving_sustained_load(artifact_dir):
+    telemetry.reset()
+    telemetry.enable()
+    server = PredictionServer(_artifact(), port=0)
+    server.serve_background()
+    port = server.server_port
+    batch_requests = [
+        [APPS[i % len(APPS)], APPS[(i + 1) % len(APPS)], None]
+        for i in range(BATCH_TRIPLES)
+    ]
+    latencies_lock = threading.Lock()
+    predict_latencies: list = []
+    failures: list = []
+
+    def client(index: int) -> int:
+        answered = 0
+        local = []
+        for i in range(REQUESTS_PER_THREAD):
+            app = APPS[(index + i) % len(APPS)]
+            other = APPS[(index + i + 1) % len(APPS)]
+            try:
+                if i % 4 == 3:  # every 4th request is a batch
+                    document = _post(
+                        port, "/predict/batch", {"requests": batch_requests}
+                    )
+                    answered += len(document["predictions"])
+                else:
+                    t0 = time.perf_counter()
+                    _get(port, f"/predict?app={app}&other={other}")
+                    local.append(time.perf_counter() - t0)
+                    answered += 4  # all four models
+            except Exception as exc:  # noqa: BLE001 - recorded, asserted empty
+                failures.append(repr(exc))
+        with latencies_lock:
+            predict_latencies.extend(local)
+        return answered
+
+    start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        answered = sum(pool.map(client, range(CLIENT_THREADS)))
+    elapsed = time.perf_counter() - start
+    server.shutdown()
+    server.server_close()
+
+    assert failures == [], failures[:5]
+    total_requests = CLIENT_THREADS * REQUESTS_PER_THREAD
+    throughput = total_requests / elapsed
+
+    # Exact client-side percentiles of the single-predict path.
+    ordered = sorted(predict_latencies)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+    # The operator's view: the server's own latency histogram.
+    histogram = telemetry.registry().histogram_state(
+        "serving.request_seconds", endpoint="/predict"
+    )
+    assert histogram["count"] == len(predict_latencies)
+    h_p50 = _histogram_percentile(histogram, 0.50)
+    h_p99 = _histogram_percentile(histogram, 0.99)
+
+    assert throughput >= THROUGHPUT_FLOOR_RPS, (
+        f"serving throughput {throughput:.0f} req/s under the "
+        f"{THROUGHPUT_FLOOR_RPS} floor ({total_requests} requests in {elapsed:.2f}s)"
+    )
+    assert p99 <= P99_CEILING_SECONDS, (
+        f"/predict p99 {p99 * 1e3:.1f}ms over the "
+        f"{P99_CEILING_SECONDS * 1e3:.0f}ms ceiling"
+    )
+    # The server's own view of its handler time stays under the ceiling
+    # too (the histogram excludes client/network overhead, so it can sit
+    # below the client-side number).
+    assert h_p99 <= P99_CEILING_SECONDS
+
+    _merge_bench(
+        artifact_dir,
+        "sustained_load",
+        {
+            "client_threads": CLIENT_THREADS,
+            "requests": total_requests,
+            "predictions_answered": answered,
+            "elapsed_seconds": round(elapsed, 3),
+            "throughput_rps": round(throughput, 1),
+            "throughput_floor_rps": THROUGHPUT_FLOOR_RPS,
+            "predict_p50_ms": round(p50 * 1e3, 3),
+            "predict_p99_ms": round(p99 * 1e3, 3),
+            "p99_ceiling_ms": P99_CEILING_SECONDS * 1e3,
+            "histogram_p50_ms": round(h_p50 * 1e3, 3),
+            "histogram_p99_ms": round(h_p99 * 1e3, 3),
+            "failed_requests": len(failures),
+        },
+    )
+    print(
+        f"\nsustained load: {throughput:.0f} req/s over {CLIENT_THREADS} threads, "
+        f"/predict p50 {p50 * 1e3:.2f}ms p99 {p99 * 1e3:.2f}ms "
+        f"(histogram ≤{h_p99 * 1e3:.2f}ms), 0 failures"
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario 2: hot reload under load
+# ----------------------------------------------------------------------
+def test_perf_serving_hot_reload_under_load(artifact_dir, tmp_path):
+    telemetry.reset()
+    telemetry.enable()
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(_artifact(0), version="v1")
+    registry.publish(_artifact(1), version="v2")
+    registry.promote("v1")
+    server = PredictionServer(registry=registry, port=0, reload_interval=0.02)
+    server.serve_background()
+    port = server.server_port
+
+    stop = threading.Event()
+    failures: list = []
+    flips_per_thread: list = []
+    counts_lock = threading.Lock()
+    requests_made = 0
+
+    def client(index: int) -> None:
+        nonlocal requests_made
+        seen = []
+        made = 0
+        while not stop.is_set():
+            app = APPS[(index + made) % len(APPS)]
+            other = APPS[(index + made + 1) % len(APPS)]
+            try:
+                document = _get(port, f"/predict?app={app}&other={other}")
+            except Exception as exc:  # noqa: BLE001 - recorded, asserted empty
+                failures.append(repr(exc))
+                continue
+            finally:
+                made += 1
+            if not seen or seen[-1] != document["version"]:
+                seen.append(document["version"])
+        with counts_lock:
+            requests_made += made
+        flips_per_thread.append(seen)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        workers = [pool.submit(client, i) for i in range(CLIENT_THREADS)]
+        time.sleep(0.5)
+        promote_at = time.perf_counter()
+        registry.promote("v2")
+        while server.state.version != "v2":
+            time.sleep(0.005)
+        flip_latency = time.perf_counter() - promote_at
+        time.sleep(0.5)
+        stop.set()
+        for worker in workers:
+            worker.result(timeout=30)
+
+    # Zero failed requests across the flip.
+    assert failures == [], failures[:5]
+    # Every thread's version stream flips exactly once, never back.
+    for seen in flips_per_thread:
+        assert seen in (["v1", "v2"], ["v1"], ["v2"]), seen
+    assert any(seen == ["v1", "v2"] for seen in flips_per_thread)
+    assert server.reloads == 1  # the version flipped exactly once
+
+    # Post-flip responses are bit-identical to an engine rebuilt from the
+    # registry's v2 artifact (the reload path loses no precision).
+    v2_engine = registry.load("v2").engine()
+    for app in APPS:
+        document = _get(port, f"/predict?app={app}&other=milc")
+        assert document["version"] == "v2"
+        for model, predicted in document["predictions"].items():
+            assert predicted == v2_engine.predict(app, "milc", model)
+
+    health = _get(port, "/healthz")
+    server.shutdown()
+    server.server_close()
+
+    _merge_bench(
+        artifact_dir,
+        "hot_reload_under_load",
+        {
+            "client_threads": CLIENT_THREADS,
+            "requests": requests_made,
+            "failed_requests": len(failures),
+            "reloads": health["reloads"],
+            "reload_failures": health["reload_failures"],
+            "flip_latency_ms": round(flip_latency * 1e3, 1),
+            "threads_observing_flip": sum(
+                1 for seen in flips_per_thread if seen == ["v1", "v2"]
+            ),
+        },
+    )
+    print(
+        f"\nhot reload under load: {requests_made} requests, 0 failures, "
+        f"flip v1→v2 in {flip_latency * 1e3:.0f}ms, "
+        "post-flip predictions bit-identical to the re-loaded artifact"
+    )

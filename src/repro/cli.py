@@ -18,6 +18,12 @@ Examples::
     repro fit --out model.json --cache results/cache  # export fitted models
     repro predict fftw milc --model model.json        # predict, no cache needed
     repro serve --model model.json --port 8100        # batch prediction HTTP API
+    repro fit --registry results/registry             # publish a new version
+    repro registry list --registry results/registry
+    repro registry promote --registry results/registry --version v0001
+    repro serve --registry results/registry --port 8100 \
+        --http-workers 4 --batch-window 2  # sharded, hot-reloading, batching
+    repro registry rollback --registry results/registry  # serving tier flips back
     repro report --cache results/cache
 """
 
@@ -271,6 +277,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact path (checksummed JSON; default model.json)",
     )
 
+    fit.add_argument(
+        "--registry",
+        dest="registry",
+        metavar="DIR",
+        help="also publish the artifact into this model registry as a new "
+        "immutable version (does not move the CURRENT pointer; promote "
+        "explicitly with `repro registry promote`)",
+    )
+
     serve = command("serve", "serve batch predictions over HTTP")
     serve.add_argument(
         "--model",
@@ -279,10 +294,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="fitted-model artifact to serve (default: fit from the cache)",
     )
     serve.add_argument(
+        "--registry",
+        dest="registry",
+        metavar="DIR",
+        help="serve the registry's CURRENT version and hot-reload on "
+        "promotion/rollback (mutually exclusive with --model)",
+    )
+    serve.add_argument(
         "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
     )
     serve.add_argument(
         "--port", type=int, default=8100, help="bind port (default 8100; 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--reload-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="registry CURRENT-pointer poll interval (default 1.0)",
+    )
+    serve.add_argument(
+        "--http-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pre-forked server processes sharing the port via SO_REUSEPORT "
+        "(default 1 = single threaded server in this process; requires "
+        "--port != 0 sources served from disk, i.e. --model or --registry)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="micro-batching window in milliseconds: concurrent /predict "
+        "calls inside one window are coalesced into a single "
+        "predict_batch solve (default 0 = off)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max coalesced requests per micro-batch solve (default 64)",
+    )
+
+    registry_cmd = command(
+        "registry",
+        "manage the versioned model registry (list/publish/promote/rollback)",
+    )
+    registry_cmd.add_argument(
+        "verb",
+        choices=("list", "publish", "promote", "rollback"),
+        help="list versions, publish a new immutable version, atomically "
+        "promote one to CURRENT (checksum-verified first), or roll back "
+        "to the previously served version",
+    )
+    registry_cmd.add_argument(
+        "--registry",
+        dest="registry",
+        default="results/registry",
+        metavar="DIR",
+        help="registry directory (default results/registry)",
+    )
+    registry_cmd.add_argument(
+        "--model",
+        dest="artifact",
+        metavar="FILE",
+        help="publish: artifact file to register (default: fit from the cache)",
+    )
+    registry_cmd.add_argument(
+        "--version",
+        metavar="NAME",
+        help="publish: version name (default auto vNNNN); promote: required",
     )
 
     profile = command("profile", "trace one application's compute/wait/sleep breakdown")
@@ -446,6 +530,167 @@ def _fig9(pipeline: ReproductionPipeline) -> str:
     return render_fig9(summaries)
 
 
+def _registry_main(args: argparse.Namespace, pipeline, human) -> int:
+    """The `repro registry list|publish|promote|rollback` verbs."""
+    from .errors import ArtifactError, RegistryError
+    from .serving import ModelRegistry, load_artifact
+
+    registry = ModelRegistry(args.registry)
+    try:
+        return _registry_verb(args, pipeline, human, registry, load_artifact)
+    except (RegistryError, ArtifactError) as exc:
+        print(f"repro registry {args.verb}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _registry_verb(
+    args: argparse.Namespace, pipeline, human, registry, load_artifact
+) -> int:
+    if args.verb == "list":
+        document = registry.describe()
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            if not document["versions"]:
+                print(f"registry {registry.root}: no versions published")
+            for row in document["versions"]:
+                marker = "*" if row["current"] else " "
+                print(f"{marker} {row['version']:16s} sha256={row['sha256'][:12]}…")
+            if document["current"] is None:
+                print("(nothing promoted yet)")
+    elif args.verb == "publish":
+        if getattr(args, "artifact", None):
+            artifact = load_artifact(args.artifact)
+        else:
+            artifact = pipeline.model_artifact()
+        version = registry.publish(artifact, version=args.version)
+        print(
+            f"published version {version} "
+            f"({len(artifact.observations)} configs, "
+            f"{len(artifact.signatures)} apps) in {registry.root}",
+            file=human,
+        )
+        if args.json:
+            print(json.dumps({"version": version, "root": str(registry.root)}))
+    elif args.verb == "promote":
+        if not args.version:
+            print("repro registry promote: --version is required", file=sys.stderr)
+            return 1
+        registry.promote(args.version)
+        print(f"promoted {args.version} to CURRENT in {registry.root}", file=human)
+        if args.json:
+            print(json.dumps(registry.describe(), indent=2, sort_keys=True))
+    elif args.verb == "rollback":
+        version, _artifact = registry.rollback()
+        print(f"rolled back to {version} in {registry.root}", file=human)
+        if args.json:
+            print(json.dumps(registry.describe(), indent=2, sort_keys=True))
+    return 0
+
+
+def _serve_main(args: argparse.Namespace, pipeline) -> int:
+    """The `repro serve` command: single-process or pre-forked sharding."""
+    from .serving import (
+        ModelRegistry,
+        PredictionServer,
+        ShardedPredictionServer,
+        load_artifact,
+        save_artifact,
+    )
+
+    # Serving metrics are the server's access log; collect them unless
+    # the user forced telemetry off.
+    if args.telemetry is not False:
+        telemetry_mod.enable()
+    if getattr(args, "registry", None) and getattr(args, "artifact", None):
+        print("repro serve: --model and --registry are mutually exclusive",
+              file=sys.stderr)
+        return 1
+    batch_window = args.batch_window / 1000.0  # CLI takes milliseconds
+    endpoints = "(endpoints: /healthz /models /predict /predict/batch /metrics)"
+
+    if args.http_workers > 1:
+        # Pre-forked sharding: workers re-load the source from disk, so an
+        # in-memory pipeline fit must be parked in a file first.
+        artifact_path = getattr(args, "artifact", None)
+        registry_root = getattr(args, "registry", None)
+        if not artifact_path and not registry_root:
+            artifact_path = str(Path(args.cache) / "served_model.json")
+            save_artifact(pipeline.model_artifact(), artifact_path)
+            print(f"fitted artifact parked at {artifact_path}", file=sys.stderr)
+        sharded = ShardedPredictionServer(
+            artifact_path=artifact_path,
+            registry_root=registry_root,
+            host=args.host,
+            port=args.port,
+            workers=args.http_workers,
+            reload_interval=args.reload_interval,
+            batch_window=batch_window,
+            batch_max_size=args.batch_max,
+        )
+        sharded.start()
+        print(
+            f"serving on http://{args.host}:{sharded.port} across "
+            f"{args.http_workers} SO_REUSEPORT shards {endpoints}",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            while sharded.alive():
+                import time as _time
+
+                _time.sleep(1.0)
+            print("all serving shards exited", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+        finally:
+            sharded.stop()
+
+    if getattr(args, "registry", None):
+        from .errors import ArtifactError, RegistryError
+
+        try:
+            server = PredictionServer(
+                registry=ModelRegistry(args.registry),
+                host=args.host,
+                port=args.port,
+                reload_interval=args.reload_interval,
+                batch_window=batch_window,
+                batch_max_size=args.batch_max,
+            )
+        except (RegistryError, ArtifactError) as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return 1
+    else:
+        if getattr(args, "artifact", None):
+            artifact = load_artifact(args.artifact)
+        else:
+            artifact = pipeline.model_artifact()
+        server = PredictionServer(
+            artifact,
+            host=args.host,
+            port=args.port,
+            batch_window=batch_window,
+            batch_max_size=args.batch_max,
+        )
+    state = server.state
+    print(
+        f"serving version {state.version}: {len(state.artifact.signatures)} "
+        f"apps × {len(state.engine.model_names)} models on "
+        f"http://{server.server_address[0]}:{server.server_port} {endpoints}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     for key, value in _COMMON_DEFAULTS.items():
@@ -458,8 +703,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Artifact-backed predict/serve and the registry listing never touch the
     # cache: skip building the pipeline entirely, so they neither create the
     # cache directory nor trigger the legacy-cache migration.
-    cache_free = args.command == "engines" or (
-        args.command in ("predict", "serve") and getattr(args, "artifact", None)
+    cache_free = (
+        args.command == "engines"
+        or (args.command in ("predict", "serve") and getattr(args, "artifact", None))
+        or (args.command == "serve" and getattr(args, "registry", None))
+        or (
+            args.command == "registry"
+            and (args.verb != "publish" or getattr(args, "artifact", None))
+        )
     )
     pipeline = None if cache_free else _pipeline(args)
     # With --json, stdout carries only the JSON document; human summaries
@@ -583,7 +834,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for prediction in engine.predict_pair(args.app, args.other):
             print(f"{prediction.model:16s} predicted {prediction.predicted:6.1f}%")
     elif args.command == "fit":
-        from .serving import save_artifact
+        from .serving import ModelRegistry, save_artifact
 
         artifact = pipeline.model_artifact()
         path = save_artifact(artifact, args.out)
@@ -592,34 +843,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{len(artifact.signatures)} apps) to {path}",
             file=human,
         )
+        version = None
+        if getattr(args, "registry", None):
+            version = ModelRegistry(args.registry).publish(artifact)
+            print(
+                f"published as version {version} in {args.registry} "
+                f"(promote with `repro registry promote --registry "
+                f"{args.registry} --version {version}`)",
+                file=human,
+            )
         if args.json:
-            print(json.dumps({"path": str(path), "metadata": artifact.metadata}))
+            print(
+                json.dumps(
+                    {
+                        "path": str(path),
+                        "metadata": artifact.metadata,
+                        "version": version,
+                    }
+                )
+            )
+    elif args.command == "registry":
+        return _registry_main(args, pipeline, human)
     elif args.command == "serve":
-        from .serving import PredictionServer, load_artifact
-
-        # Serving metrics are the server's access log; collect them unless
-        # the user forced telemetry off.
-        if args.telemetry is not False:
-            telemetry_mod.enable()
-        if getattr(args, "artifact", None):
-            artifact = load_artifact(args.artifact)
-        else:
-            artifact = pipeline.model_artifact()
-        server = PredictionServer(artifact, host=args.host, port=args.port)
-        print(
-            f"serving {len(artifact.signatures)} apps × "
-            f"{len(server.engine.model_names)} models on "
-            f"http://{server.server_address[0]}:{server.server_port} "
-            "(endpoints: /healthz /models /predict /predict/batch /metrics)",
-            file=sys.stderr,
-            flush=True,
-        )
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:  # pragma: no cover - interactive exit
-            pass
-        finally:
-            server.server_close()
+        return _serve_main(args, pipeline)
     elif args.command == "profile":
         from .core.experiments.catalog import paper_applications
         from .trace import profile_workload, render_profile

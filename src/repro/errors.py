@@ -26,6 +26,7 @@ __all__ = [
     "UnsupportedScenario",
     "ModelError",
     "ArtifactError",
+    "RegistryError",
     "InjectedFault",
     "FailureRecord",
     "FAILURE_CATEGORIES",
@@ -105,6 +106,17 @@ class ArtifactError(ReproError):
     Raised by :mod:`repro.serving.artifact` when a file fails the checksum
     envelope, carries an unknown format version, or lacks required fields —
     a damaged artifact is rejected loudly, never served from.
+    """
+
+
+class RegistryError(ReproError):
+    """A model-registry operation was invalid or the registry is damaged.
+
+    Raised by :mod:`repro.serving.registry` when a version is unknown, a
+    version name collides or is malformed, the ``CURRENT`` pointer is
+    garbled, or a rollback is requested with no promotion history.  Artifact
+    *content* damage keeps raising :class:`ArtifactError` — promotion
+    verifies the artifact before the pointer ever moves.
     """
 
 

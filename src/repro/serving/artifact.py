@@ -40,7 +40,13 @@ from ..core.models import PredictionEngine, SlowdownModel, default_models
 from ..errors import ArtifactError
 from ..queueing import ServiceEstimate
 
-__all__ = ["ARTIFACT_FORMAT", "ModelArtifact", "save_artifact", "load_artifact"]
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ModelArtifact",
+    "save_artifact",
+    "load_artifact",
+    "atomic_write_text",
+]
 
 #: Version stamp of the artifact document; bump on incompatible changes.
 ARTIFACT_FORMAT = 1
@@ -48,6 +54,45 @@ ARTIFACT_FORMAT = 1
 
 def _checksum(payload_text: str) -> str:
     return hashlib.sha256(payload_text.encode("utf-8")).hexdigest()
+
+
+def _process_umask() -> int:
+    # There is no read-only accessor for the umask; set-and-restore is the
+    # standard idiom and the window is harmless (same value written back).
+    current = os.umask(0)
+    os.umask(current)
+    return current
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Durably write ``text`` to ``path``: temp file, fsync, atomic rename.
+
+    The file's bytes are flushed and fsynced before the ``os.replace``, and
+    the parent directory is fsynced after it, so a crash at any point leaves
+    either the complete previous file or the complete new one — never a torn
+    or empty file whose rename outran its data.  The temp file's 0600
+    ``mkstemp`` mode is widened to honor the process umask, matching what a
+    plain ``open(path, "w")`` would have produced.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.chmod(temp_name, 0o666 & ~_process_umask())
+        os.replace(temp_name, path)
+    except BaseException:
+        if os.path.exists(temp_name):  # pragma: no cover - cleanup path
+            os.unlink(temp_name)
+        raise
+    directory_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
 
 
 @dataclass
@@ -156,8 +201,11 @@ def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
     """Write ``artifact`` to ``path`` atomically, under a checksum envelope.
 
     The payload is checksummed over its canonical (sorted-keys) JSON text
-    and written through a temp file + ``os.replace``, so a crashed write
-    leaves either the previous artifact or none — never a torn one.
+    and written through :func:`atomic_write_text` (temp file + fsync +
+    ``os.replace`` + directory fsync), so a crashed write — or a crash right
+    after the rename — leaves either the previous artifact or the complete
+    new one, never a torn or empty file.  Registry promotion relies on this:
+    the ``CURRENT`` pointer only ever names fully-durable artifacts.
     """
     path = Path(path)
     payload = artifact.to_payload()
@@ -167,17 +215,7 @@ def save_artifact(artifact: ModelArtifact, path: str | Path) -> Path:
         "sha256": _checksum(payload_text),
         "payload": payload,
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    handle, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(handle, "w") as stream:
-            json.dump(document, stream)
-            stream.write("\n")
-        os.replace(temp_name, path)
-    except BaseException:
-        if os.path.exists(temp_name):  # pragma: no cover - cleanup path
-            os.unlink(temp_name)
-        raise
+    atomic_write_text(path, json.dumps(document) + "\n")
     return path
 
 

@@ -1,9 +1,11 @@
-"""A stdlib-only batch prediction server over a fitted artifact.
+"""A stdlib-only batch prediction server with versioned hot-reload.
 
-``repro serve`` loads (or fits) a :class:`~repro.serving.artifact.ModelArtifact`,
-builds a :class:`~repro.core.models.PredictionEngine`, and answers HTTP:
+``repro serve`` loads (or fits) a :class:`~repro.serving.artifact.ModelArtifact`
+— or watches a :class:`~repro.serving.registry.ModelRegistry` — builds a
+:class:`~repro.core.models.PredictionEngine`, and answers HTTP:
 
-* ``GET  /healthz``        — liveness + artifact metadata.
+* ``GET  /healthz``        — liveness, served version, request tally,
+  reload counters, artifact metadata.
 * ``GET  /models``         — fitted model names, apps, catalog size.
 * ``GET  /predict``        — one triple via query string
   (``?app=fftw&other=milc&model=Queue``; ``model`` defaults to all).
@@ -11,35 +13,88 @@ builds a :class:`~repro.core.models.PredictionEngine`, and answers HTTP:
   (``{"app": ..., "other": ..., "model": ...}``).
 * ``POST /predict/batch``  — ``{"requests": [[app, other, model], ...]}``,
   scored in one :meth:`~repro.core.models.PredictionEngine.predict_batch`
-  call (the match computation runs once per distinct co-runner).
+  call; ``model`` may be ``null`` or omitted (a 2-tuple) to answer all
+  models, matching ``/predict`` semantics.
 * ``GET  /metrics``        — the telemetry registry's snapshot as JSON.
 
-Requests are served by a :class:`ThreadingHTTPServer`; the engine's fitted
-state is read-only after construction so concurrent reads need no locking.
-With telemetry enabled, every request increments
-``serving.requests{endpoint=...,status=...}`` and lands its latency in the
-``serving.request_seconds{endpoint=...}`` histogram.
+**Hot reload.**  When constructed over a registry, a daemon watcher thread
+polls the registry's ``CURRENT`` pointer every ``reload_interval`` seconds.
+On a version flip it loads and checksum-verifies the new artifact, fits a
+fresh engine, and swaps the whole ``(artifact, engine, version)`` bundle
+behind a single attribute assignment — atomic under the GIL, so every
+request sees one consistent bundle: in-flight requests finish on the old
+engine, new requests pick up the new one, and zero requests fail across
+the flip.  A damaged artifact never swaps in: the watcher keeps serving
+the old engine and counts ``serving.reload_failures``.
 
-Bad inputs map to structured JSON errors: unknown apps/models and missing
-fields are 400s carrying the :class:`~repro.errors.ModelError` message,
-unknown paths are 404s.  The process never dies on a bad request.
+**Micro-batching.**  With ``batch_window > 0``, concurrent ``/predict``
+and ``/predict/batch`` calls are coalesced: the first request in becomes
+the flush leader, sleeps the window, then scores every queued request in
+one ``predict_batch`` solve (numerically identical to the scalar path by
+construction).  All requests in a flush are answered by the same engine
+version.
+
+**Sharding.**  Pass ``reuse_port=True`` to bind with ``SO_REUSEPORT`` so
+multiple server processes can share one port (see
+:mod:`repro.serving.prefork` for the pre-forked front end).
+
+Requests are served by a :class:`ThreadingHTTPServer`; each request reads
+the serving bundle once, and the bundle's fitted state is immutable, so
+concurrent reads need no locking.  With telemetry enabled, every request
+increments ``serving.requests{endpoint=...,status=...}`` and lands its
+latency in the ``serving.request_seconds{endpoint=...}`` histogram; paths
+that match no route are collapsed to a fixed ``<unknown>`` endpoint label
+so arbitrary client paths cannot explode the label space.
+
+Bad inputs map to structured JSON errors: unknown apps/models, missing
+fields, malformed bodies, and malformed ``Content-Length`` headers are
+400s carrying the :class:`~repro.errors.ModelError` message, unknown paths
+are 404s.  The process never dies on a bad request.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import socket
 import threading
 import time
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .. import telemetry
 from ..core.models import PredictionEngine
 from ..errors import ModelError, ReproError
 from .artifact import ModelArtifact
+from .registry import ModelRegistry
 
-__all__ = ["PredictionServer"]
+__all__ = ["PredictionServer", "ServingState", "UNKNOWN_ENDPOINT"]
+
+#: Fixed telemetry endpoint label for paths that match no route — using the
+#: raw request path would let clients mint unbounded label cardinality.
+UNKNOWN_ENDPOINT = "<unknown>"
+
+#: Version label served when the artifact came from a bare file, not a
+#: registry.
+UNVERSIONED = "unversioned"
+
+
+@dataclass(frozen=True)
+class ServingState:
+    """One immutable (artifact, engine, version) bundle.
+
+    The server holds exactly one reference to the live bundle; hot reload
+    builds a complete replacement and swaps the reference in a single
+    assignment.  Handlers read the reference once per request, so a request
+    never sees a half-updated mix of old artifact and new engine.
+    """
+
+    artifact: ModelArtifact
+    engine: PredictionEngine
+    version: str
+    loaded_at: float = field(default_factory=time.time)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -54,6 +109,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _send_json(self, status: int, document: dict, endpoint: str, t0: float) -> None:
         body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.server.note_request()
         # Metrics land before the response bytes: a client that has seen the
         # reply must also see the request counted.
         if telemetry.enabled():
@@ -74,8 +130,14 @@ class _Handler(BaseHTTPRequestHandler):
             pass
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length or 0)
+        except ValueError as exc:
+            raise ModelError(
+                f"malformed Content-Length header {raw_length!r}"
+            ) from exc
+        raw = self.rfile.read(length) if length > 0 else b""
         if not raw:
             raise ModelError("request body must be a JSON object")
         try:
@@ -108,7 +170,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, telemetry.registry().snapshot(), "/metrics", t0)
         else:
             self._send_json(
-                404, {"error": f"unknown path {url.path!r}"}, url.path, t0
+                404, {"error": f"unknown path {url.path!r}"}, UNKNOWN_ENDPOINT, t0
             )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
@@ -125,7 +187,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._predict_batch(t0)
         else:
             self._send_json(
-                404, {"error": f"unknown path {url.path!r}"}, url.path, t0
+                404, {"error": f"unknown path {url.path!r}"}, UNKNOWN_ENDPOINT, t0
             )
 
     # ------------------------------------------------------------------
@@ -153,80 +215,324 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._read_body()
             requests = body.get("requests")
             if not isinstance(requests, list):
-                raise ModelError("'requests' must be a list of [app, other, model]")
-            triples: List[Tuple[str, str, str]] = []
+                raise ModelError(
+                    "'requests' must be a list of [app, other, model] entries"
+                )
+            pairs: List[Tuple[str, str, Optional[str]]] = []
             for entry in requests:
-                if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                if not isinstance(entry, (list, tuple)) or len(entry) not in (2, 3):
                     raise ModelError(
-                        "each request must be an [app, other, model] triple"
+                        "each request must be [app, other, model] or "
+                        "[app, other] (model null/omitted = all models)"
                     )
-                triples.append((str(entry[0]), str(entry[1]), str(entry[2])))
-            document = self.server.predict_batch(triples)
+                model = entry[2] if len(entry) == 3 else None
+                pairs.append(
+                    (
+                        str(entry[0]),
+                        str(entry[1]),
+                        str(model) if model is not None else None,
+                    )
+                )
+            document = self.server.predict_batch(pairs)
         except ReproError as exc:
             self._send_json(400, {"error": str(exc)}, "/predict/batch", t0)
             return
         self._send_json(200, document, "/predict/batch", t0)
 
 
+class _BatchSlot:
+    """One waiting request inside the micro-batcher."""
+
+    __slots__ = ("triples", "done", "results", "error")
+
+    def __init__(self, triples: List[Tuple[str, str, str]]) -> None:
+        self.triples = triples
+        self.done = threading.Event()
+        self.results: Optional[list] = None
+        self.error: Optional[BaseException] = None
+
+
+class _MicroBatcher:
+    """Coalesces concurrent predict calls into shared ``predict_batch`` solves.
+
+    The first thread to enqueue into an empty queue becomes the flush
+    leader: it sleeps ``window`` seconds (the coalescing opportunity), then
+    drains the whole queue and scores every queued triple in chunks of at
+    most ``max_size`` requests per engine call.  Followers block on their
+    slot's event.  Every request in one flush is answered by the same
+    :class:`ServingState`, so a hot reload can never split one coalesced
+    batch across two engine versions.
+
+    If a combined solve raises (one request naming an unknown app/model),
+    the flush falls back to scoring each request separately so only the
+    offending request fails — coalescing must never punish innocent
+    neighbours.
+    """
+
+    def __init__(
+        self, server: "PredictionServer", window: float, max_size: int
+    ) -> None:
+        self._server = server
+        self.window = window
+        self.max_size = max(1, int(max_size))
+        self._lock = threading.Lock()
+        self._queue: List[_BatchSlot] = []
+
+    def submit(self, triples: List[Tuple[str, str, str]]) -> list:
+        slot = _BatchSlot(triples)
+        with self._lock:
+            self._queue.append(slot)
+            leader = len(self._queue) == 1
+        if leader:
+            if self.window > 0:
+                time.sleep(self.window)
+            self._flush()
+        slot.done.wait()
+        if slot.error is not None:
+            raise slot.error
+        return slot.results  # type: ignore[return-value]
+
+    def _flush(self) -> None:
+        with self._lock:
+            slots, self._queue = self._queue, []
+        if not slots:  # pragma: no cover - leader always owns >= 1 slot
+            return
+        state = self._server.state
+        if telemetry.enabled():
+            registry = telemetry.registry()
+            registry.counter_inc("serving.microbatch_flushes")
+            registry.observe("serving.microbatch_size", float(len(slots)))
+        for chunk_start in range(0, len(slots), self.max_size):
+            chunk = slots[chunk_start : chunk_start + self.max_size]
+            combined = [t for slot in chunk for t in slot.triples]
+            try:
+                predictions = state.engine.predict_batch(combined)
+            except ReproError:
+                # One bad request poisons the combined solve; isolate it.
+                for slot in chunk:
+                    try:
+                        slot.results = state.engine.predict_batch(slot.triples)
+                    except BaseException as exc:  # noqa: BLE001 - handed to waiter
+                        slot.error = exc
+                    slot.done.set()
+                continue
+            except BaseException as exc:  # noqa: BLE001 - handed to waiters
+                for slot in chunk:
+                    slot.error = exc
+                    slot.done.set()
+                continue
+            cursor = 0
+            for slot in chunk:
+                slot.results = predictions[cursor : cursor + len(slot.triples)]
+                cursor += len(slot.triples)
+                slot.done.set()
+
+
 class PredictionServer(ThreadingHTTPServer):
-    """Serves a fitted prediction engine over HTTP.
+    """Serves a fitted prediction engine over HTTP, hot-reloadable.
 
     Args:
-        artifact: the fitted-model artifact to serve from.
+        artifact: a fitted-model artifact to serve (static mode).  Mutually
+            exclusive with ``registry``.
         host: bind address (default loopback).
         port: bind port (0 lets the OS pick one — handy in tests; read the
             chosen port back from :attr:`server_port`).
+        registry: a :class:`ModelRegistry` to serve from; the currently
+            promoted version is loaded at startup and a watcher thread
+            follows subsequent promotions/rollbacks.
+        reload_interval: seconds between registry pointer polls.
+        batch_window: micro-batching coalescing window in seconds
+            (0 = micro-batching off, the default).
+        batch_max_size: max coalesced requests per engine solve.
+        reuse_port: bind with ``SO_REUSEPORT`` so sibling processes can
+            share the port (pre-fork sharding).
     """
 
     daemon_threads = True
 
     def __init__(
-        self, artifact: ModelArtifact, host: str = "127.0.0.1", port: int = 0
+        self,
+        artifact: Optional[ModelArtifact] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        registry: Optional[ModelRegistry] = None,
+        reload_interval: float = 1.0,
+        batch_window: float = 0.0,
+        batch_max_size: int = 64,
+        reuse_port: bool = False,
     ) -> None:
+        if (artifact is None) == (registry is None):
+            raise ModelError(
+                "PredictionServer needs exactly one of 'artifact' or 'registry'"
+            )
+        self._reuse_port = reuse_port  # consumed by server_bind during init
         super().__init__((host, port), _Handler)
-        self.artifact = artifact
-        self.engine: PredictionEngine = artifact.engine()
+        self.registry = registry
+        self.reload_interval = reload_interval
+        if registry is not None:
+            version, artifact = registry.load_current()
+        else:
+            assert artifact is not None
+            version = str(artifact.metadata.get("version") or UNVERSIONED)
+        self.state = ServingState(
+            artifact=artifact, engine=artifact.engine(), version=version
+        )
         self.started_at = time.time()
+        self.reloads = 0
+        self.reload_failures = 0
+        self.last_reload_error: Optional[str] = None
         self._requests_observed = 0
+        self._requests_lock = threading.Lock()
+        self._batcher = (
+            _MicroBatcher(self, batch_window, batch_max_size)
+            if batch_window > 0
+            else None
+        )
+        self._stop_watcher = threading.Event()
+        self._watcher: Optional[threading.Thread] = None
+        if registry is not None:
+            self._watcher = threading.Thread(
+                target=self._watch_registry, daemon=True, name="registry-watcher"
+            )
+            self._watcher.start()
+
+    # Back-compat conveniences: the pre-registry server exposed these.
+    @property
+    def artifact(self) -> ModelArtifact:
+        return self.state.artifact
+
+    @property
+    def engine(self) -> PredictionEngine:
+        return self.state.engine
+
+    @property
+    def requests_served(self) -> int:
+        with self._requests_lock:
+            return self._requests_observed
+
+    def note_request(self) -> None:
+        """Count one served response (every endpoint, every status)."""
+        with self._requests_lock:
+            self._requests_observed += 1
 
     # ------------------------------------------------------------------
-    # Endpoint documents (thread-safe: fitted state is read-only)
+    # Socket options
+    # ------------------------------------------------------------------
+    def server_bind(self) -> None:
+        if self._reuse_port:
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+    # ------------------------------------------------------------------
+    # Hot reload
+    # ------------------------------------------------------------------
+    def _watch_registry(self) -> None:
+        while not self._stop_watcher.wait(self.reload_interval):
+            self.reload_now()
+
+    def reload_now(self) -> bool:
+        """One synchronous reload check; True if a new version swapped in.
+
+        Reads the registry pointer; on a flip, verifies and fits the new
+        artifact *before* touching the live bundle, then swaps it in a
+        single attribute assignment.  Any failure — damaged artifact,
+        vanished registry, garbled pointer — leaves the old bundle serving
+        and is counted in ``serving.reload_failures``.
+        """
+        if self.registry is None:
+            return False
+        try:
+            version = self.registry.current_version()
+            if version is None or version == self.state.version:
+                return False
+            artifact = self.registry.verify(version)
+            fresh = ServingState(
+                artifact=artifact, engine=artifact.engine(), version=version
+            )
+        except (ReproError, OSError) as exc:
+            self.reload_failures += 1
+            self.last_reload_error = str(exc)
+            if telemetry.enabled():
+                telemetry.registry().counter_inc("serving.reload_failures")
+            return False
+        self.state = fresh  # the atomic swap: one reference assignment
+        self.reloads += 1
+        self.last_reload_error = None
+        if telemetry.enabled():
+            telemetry.registry().counter_inc("serving.reloads")
+        return True
+
+    # ------------------------------------------------------------------
+    # Endpoint documents (thread-safe: each reads one immutable bundle)
     # ------------------------------------------------------------------
     def health(self) -> dict:
+        state = self.state
         return {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
-            "models": self.engine.model_names,
-            "apps": sorted(self.engine.signatures),
-            "metadata": dict(self.artifact.metadata),
+            "version": state.version,
+            "requests_served": self.requests_served,
+            "reloads": self.reloads,
+            "reload_failures": self.reload_failures,
+            "last_reload_error": self.last_reload_error,
+            "pid": os.getpid(),
+            "registry": str(self.registry.root) if self.registry else None,
+            "models": state.engine.model_names,
+            "apps": sorted(state.engine.signatures),
+            "metadata": dict(state.artifact.metadata),
         }
 
     def models(self) -> dict:
+        state = self.state
         return {
-            "models": self.engine.model_names,
-            "apps": sorted(self.engine.signatures),
-            "catalog_size": len(self.artifact.observations),
+            "models": state.engine.model_names,
+            "apps": sorted(state.engine.signatures),
+            "catalog_size": len(state.artifact.observations),
+            "version": state.version,
         }
+
+    def _score(
+        self, state: ServingState, triples: List[Tuple[str, str, str]]
+    ) -> list:
+        if self._batcher is not None:
+            return self._batcher.submit(triples)
+        return state.engine.predict_batch(triples)
 
     def predict_one(self, app: str, other: str, model: Optional[str]) -> dict:
         """One pairing; all models when ``model`` is omitted."""
-        names = [model] if model else self.engine.model_names
-        predictions = self.engine.predict_batch(
-            [(app, other, name) for name in names]
+        state = self.state
+        names = [model] if model else state.engine.model_names
+        predictions = self._score(
+            state, [(app, other, name) for name in names]
         )
         return {
             "app": app,
             "other": other,
+            "version": state.version,
             "predictions": {p.model: p.predicted for p in predictions},
         }
 
-    def predict_batch(self, triples: List[Tuple[str, str, str]]) -> dict:
-        predictions = self.engine.predict_batch(triples)
+    def predict_batch(
+        self, pairs: Sequence[Tuple[str, str, Optional[str]]]
+    ) -> dict:
+        """Score a batch; entries with ``model=None`` expand to all models."""
+        state = self.state
+        triples: List[Tuple[str, str, str]] = []
+        for app, other, model in pairs:
+            if model is None:
+                triples.extend(
+                    (app, other, name) for name in state.engine.model_names
+                )
+            else:
+                triples.append((app, other, model))
+        predictions = self._score(state, triples)
         if telemetry.enabled():
             telemetry.registry().counter_inc(
                 "serving.predictions", amount=float(len(predictions))
             )
         return {
+            "version": state.version,
             "predictions": [
                 {
                     "app": p.app,
@@ -235,7 +541,7 @@ class PredictionServer(ThreadingHTTPServer):
                     "predicted": p.predicted,
                 }
                 for p in predictions
-            ]
+            ],
         }
 
     # ------------------------------------------------------------------
@@ -244,3 +550,9 @@ class PredictionServer(ThreadingHTTPServer):
         thread = threading.Thread(target=self.serve_forever, daemon=True)
         thread.start()
         return thread
+
+    def server_close(self) -> None:
+        self._stop_watcher.set()
+        if self._watcher is not None:
+            self._watcher.join(timeout=5.0)
+        super().server_close()

@@ -189,3 +189,24 @@ def test_cli_telemetry_subcommand_without_report_fails(
     code = main(_isolated(tmp_path, "telemetry"))
     assert code == 1
     assert "no telemetry report" in capsys.readouterr().err
+
+
+def test_cli_registry_usage_errors_are_friendly(tmp_path, capsys):
+    # Operator mistakes print one-line errors and exit 1 — no tracebacks.
+    registry = str(tmp_path / "registry")
+    code = main(["registry", "rollback", "--registry", registry])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "repro registry rollback:" in err and "promoted" in err
+
+    code = main(["registry", "promote", "--registry", registry, "--version", "x"])
+    assert code == 1
+    assert "unknown version" in capsys.readouterr().err
+
+
+def test_cli_serve_unpromoted_registry_is_friendly(tmp_path, capsys):
+    code = main(
+        ["serve", "--registry", str(tmp_path / "empty"), "--port", "0"]
+    )
+    assert code == 1
+    assert "repro serve:" in capsys.readouterr().err

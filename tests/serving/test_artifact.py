@@ -168,3 +168,31 @@ def test_engine_accepts_signature_roundtrip_through_json():
     assert restored.mean == signature.mean
     assert restored.std == signature.std
     assert restored.utilization == signature.utilization
+
+
+# ----------------------------------------------------------------------
+# Durability (registry promotion depends on these)
+# ----------------------------------------------------------------------
+def test_saved_artifact_honors_the_umask(tmp_path):
+    import os
+    import stat
+
+    previous = os.umask(0o027)
+    try:
+        path = save_artifact(_artifact(), tmp_path / "model.json")
+    finally:
+        os.umask(previous)
+    mode = stat.S_IMODE(path.stat().st_mode)
+    # 0o666 & ~0o027 == 0o640 — not mkstemp's paranoid 0600.
+    assert mode == 0o640
+
+
+def test_save_fsyncs_file_and_directory_before_returning(tmp_path, monkeypatch):
+    import os
+
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1])
+    save_artifact(_artifact(), tmp_path / "model.json")
+    # One fsync for the temp file's bytes, one for the directory entry.
+    assert len(synced) >= 2

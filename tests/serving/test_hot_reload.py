@@ -1,0 +1,190 @@
+"""Hot reload: atomic engine swap on promotion, resilience, zero dropped load."""
+
+import concurrent.futures
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.serving import ModelArtifact, ModelRegistry, PredictionServer
+
+from .conftest import make_catalog
+
+
+def _artifact(seed):
+    observations, degradations, signatures, cal = make_catalog(seed=seed)
+    return ModelArtifact(
+        observations=observations,
+        degradations=degradations,
+        signatures=signatures,
+        calibration=cal,
+        metadata={"seed": seed},
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(_artifact(0), version="v1")
+    registry.publish(_artifact(1), version="v2")
+    registry.promote("v1")
+    return registry
+
+
+@pytest.fixture()
+def server(registry):
+    instance = PredictionServer(registry=registry, port=0, reload_interval=0.02)
+    instance.serve_background()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+def _get(server, path):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read())
+
+
+def _wait_for_version(server, version, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if server.state.version == version:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"server never flipped to {version!r}; still at {server.state.version!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Swap semantics
+# ----------------------------------------------------------------------
+def test_server_starts_on_the_promoted_version(server):
+    health = _get(server, "/healthz")
+    assert health["version"] == "v1"
+    assert health["metadata"] == {"seed": 0}
+    assert health["registry"] is not None
+
+
+def test_server_requires_a_promotion_to_start(tmp_path):
+    empty = ModelRegistry(tmp_path / "empty")
+    empty.publish(_artifact(0), version="v1")  # published, never promoted
+    from repro.errors import RegistryError
+
+    with pytest.raises(RegistryError, match="promote"):
+        PredictionServer(registry=empty, port=0)
+
+
+def test_promotion_swaps_engine_and_healthz_version(server, registry):
+    v1_prediction = _get(server, "/predict?app=alpha&other=beta")
+    assert v1_prediction["version"] == "v1"
+    registry.promote("v2")
+    _wait_for_version(server, "v2")
+    health = _get(server, "/healthz")
+    assert health["version"] == "v2"
+    assert health["reloads"] == 1
+    assert health["metadata"] == {"seed": 1}
+    # Predictions now come from the v2 artifact, bit-identically.
+    v2_engine = registry.load("v2").engine()
+    answered = _get(server, "/predict?app=alpha&other=beta")
+    assert answered["version"] == "v2"
+    for model, predicted in answered["predictions"].items():
+        assert predicted == v2_engine.predict("alpha", "beta", model)
+    # ... and differ from v1's (different seed -> different catalog).
+    assert answered["predictions"] != v1_prediction["predictions"]
+
+
+def test_rollback_swaps_back(server, registry):
+    registry.promote("v2")
+    _wait_for_version(server, "v2")
+    registry.rollback()
+    _wait_for_version(server, "v1")
+    assert _get(server, "/healthz")["reloads"] == 2
+
+
+def test_reload_now_is_synchronous(registry):
+    instance = PredictionServer(
+        registry=registry, port=0, reload_interval=3600.0
+    )
+    try:
+        assert instance.reload_now() is False  # nothing changed
+        registry.promote("v2")
+        assert instance.reload_now() is True
+        assert instance.state.version == "v2"
+    finally:
+        instance.server_close()
+
+
+def test_damaged_promotion_target_keeps_old_engine(server, registry):
+    # Bypass promote()'s verification by writing the pointer directly —
+    # modelling an operator hand-editing CURRENT at a corrupt version.
+    registry.publish(_artifact(2), version="v3")
+    path = registry.artifact_path("v3")
+    path.write_bytes(path.read_bytes()[:120])
+    registry._write_pointer("v3", previous="v1")
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline and server.reload_failures == 0:
+        time.sleep(0.01)
+    health = _get(server, "/healthz")
+    assert health["version"] == "v1"  # old engine still serving
+    assert health["reload_failures"] >= 1
+    assert health["last_reload_error"]
+    # Predictions keep flowing throughout.
+    assert _get(server, "/predict?app=alpha&other=beta")["predictions"]
+    # A good promotion afterwards heals the server.
+    registry.promote("v2")
+    _wait_for_version(server, "v2")
+    assert _get(server, "/healthz")["last_reload_error"] is None
+
+
+# ----------------------------------------------------------------------
+# Reload under load
+# ----------------------------------------------------------------------
+def test_hot_reload_under_load_drops_nothing(server, registry):
+    telemetry.enable()
+    stop = threading.Event()
+    failures = []
+    versions_per_thread = []
+
+    def client(index):
+        seen = []
+        while not stop.is_set():
+            try:
+                document = _get(server, "/predict?app=alpha&other=beta")
+            except Exception as exc:  # noqa: BLE001 - recorded, asserted empty
+                failures.append((index, repr(exc)))
+                continue
+            if not seen or seen[-1] != document["version"]:
+                seen.append(document["version"])
+        versions_per_thread.append(seen)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+        workers = [pool.submit(client, i) for i in range(4)]
+        time.sleep(0.2)
+        registry.promote("v2")
+        _wait_for_version(server, "v2")
+        time.sleep(0.2)
+        stop.set()
+        for worker in workers:
+            worker.result(timeout=10)
+
+    assert failures == []
+    # Each thread's request stream flips v1 -> v2 exactly once, never back:
+    # the swap is one atomic reference assignment.
+    for seen in versions_per_thread:
+        assert seen in (["v1", "v2"], ["v2"], ["v1"])
+    assert any(seen == ["v1", "v2"] for seen in versions_per_thread)
+    assert _get(server, "/healthz")["reloads"] == 1

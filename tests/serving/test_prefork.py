@@ -1,0 +1,95 @@
+"""Pre-forked SO_REUSEPORT sharding: one port, many processes, same answers."""
+
+import concurrent.futures
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.serving import (
+    ModelRegistry,
+    ShardedPredictionServer,
+    load_artifact,
+    save_artifact,
+)
+from repro.errors import ModelError
+
+from .conftest import make_catalog
+
+
+def _artifact(seed=0):
+    from repro.serving import ModelArtifact
+
+    observations, degradations, signatures, cal = make_catalog(seed=seed)
+    return ModelArtifact(
+        observations=observations,
+        degradations=degradations,
+        signatures=signatures,
+        calibration=cal,
+        metadata={"seed": seed},
+    )
+
+
+def _get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as response:
+        return json.loads(response.read())
+
+
+def test_requires_exactly_one_source(tmp_path):
+    with pytest.raises(ModelError, match="exactly one"):
+        ShardedPredictionServer()
+    with pytest.raises(ModelError, match="exactly one"):
+        ShardedPredictionServer(
+            artifact_path=tmp_path / "a.json", registry_root=tmp_path / "r"
+        )
+    with pytest.raises(ModelError, match="workers"):
+        ShardedPredictionServer(artifact_path=tmp_path / "a.json", workers=0)
+
+
+def test_shards_share_one_port_and_agree(tmp_path):
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    engine = load_artifact(path).engine()
+    sharded = ShardedPredictionServer(artifact_path=path, workers=2)
+    with sharded:
+        assert sharded.alive() == 2
+
+        def one(_):
+            return _get(sharded.port, "/predict?app=alpha&other=beta")
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            documents = list(pool.map(one, range(48)))
+        for document in documents:
+            for model, predicted in document["predictions"].items():
+                assert predicted == engine.predict("alpha", "beta", model)
+
+        # The kernel hashes connections across both listeners; with 48
+        # fresh connections the chance of single-shard routing is ~2^-47.
+        pids = {_get(sharded.port, "/healthz")["pid"] for _ in range(48)}
+        assert len(pids) == 2
+    assert sharded.alive() == 0
+
+
+def test_promotion_flips_every_shard(tmp_path):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(_artifact(0), version="v1")
+    registry.publish(_artifact(1), version="v2")
+    registry.promote("v1")
+    sharded = ShardedPredictionServer(
+        registry_root=registry.root, workers=2, reload_interval=0.05
+    )
+    with sharded:
+        versions = {_get(sharded.port, "/healthz")["version"] for _ in range(16)}
+        assert versions == {"v1"}
+        registry.promote("v2")
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            versions = {
+                _get(sharded.port, "/healthz")["version"] for _ in range(16)
+            }
+            if versions == {"v2"}:
+                break
+            time.sleep(0.05)
+        assert versions == {"v2"}, f"shards still serving {versions}"

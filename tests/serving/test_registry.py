@@ -1,0 +1,216 @@
+"""The model registry: publish/promote/rollback semantics and paranoia."""
+
+import json
+
+import pytest
+
+from repro.errors import ArtifactError, RegistryError
+from repro.serving import (
+    CURRENT_POINTER,
+    ModelArtifact,
+    ModelRegistry,
+    load_artifact,
+)
+
+from .conftest import make_catalog
+
+
+def _artifact(seed=0):
+    observations, degradations, signatures, cal = make_catalog(seed=seed)
+    return ModelArtifact(
+        observations=observations,
+        degradations=degradations,
+        signatures=signatures,
+        calibration=cal,
+        metadata={"engine": "test", "seed": seed},
+    )
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+# ----------------------------------------------------------------------
+# Publish
+# ----------------------------------------------------------------------
+def test_publish_auto_assigns_sequential_versions(registry):
+    assert registry.publish(_artifact(0)) == "v0001"
+    assert registry.publish(_artifact(1)) == "v0002"
+    assert [e.version for e in registry.entries()] == ["v0001", "v0002"]
+    assert all(not e.current for e in registry.entries())
+
+
+def test_publish_accepts_named_versions(registry):
+    assert registry.publish(_artifact(), version="canary") == "canary"
+    assert registry.artifact_path("canary").exists()
+
+
+def test_publish_refuses_overwriting_a_version(registry):
+    registry.publish(_artifact(0), version="v0001")
+    with pytest.raises(RegistryError, match="immutable"):
+        registry.publish(_artifact(1), version="v0001")
+    # The original artifact is untouched.
+    assert load_artifact(registry.artifact_path("v0001")).metadata["seed"] == 0
+
+
+@pytest.mark.parametrize("bad", ["", "../escape", "a/b", ".hidden", "a b"])
+def test_publish_rejects_unsafe_version_names(registry, bad):
+    with pytest.raises(RegistryError, match="invalid version name"):
+        registry.publish(_artifact(), version=bad)
+
+
+def test_published_artifact_round_trips(registry):
+    registry.publish(_artifact(3), version="v1")
+    loaded = registry.load("v1")
+    assert loaded.metadata == {"engine": "test", "seed": 3}
+
+
+# ----------------------------------------------------------------------
+# Promote / rollback
+# ----------------------------------------------------------------------
+def test_promote_moves_current_and_records_previous(registry):
+    registry.publish(_artifact(0), version="a")
+    registry.publish(_artifact(1), version="b")
+    assert registry.current_version() is None
+    registry.promote("a")
+    assert registry.current_version() == "a"
+    assert registry.previous_version() is None
+    registry.promote("b")
+    assert registry.current_version() == "b"
+    assert registry.previous_version() == "a"
+    current = [e.version for e in registry.entries() if e.current]
+    assert current == ["b"]
+
+
+def test_promote_unknown_version_raises_and_keeps_pointer(registry):
+    registry.publish(_artifact(), version="a")
+    registry.promote("a")
+    with pytest.raises(RegistryError, match="unknown version"):
+        registry.promote("ghost")
+    assert registry.current_version() == "a"
+
+
+def test_promote_same_version_is_a_noop(registry):
+    registry.publish(_artifact(), version="a")
+    registry.promote("a")
+    pointer_before = registry.pointer_path.read_bytes()
+    registry.promote("a")
+    assert registry.pointer_path.read_bytes() == pointer_before
+
+
+def test_promote_refuses_corrupt_artifact(registry):
+    registry.publish(_artifact(0), version="good")
+    registry.publish(_artifact(1), version="bad")
+    registry.promote("good")
+    # Corrupt the candidate quietly (valid JSON, wrong checksum).
+    path = registry.artifact_path("bad")
+    document = json.loads(path.read_text())
+    document["payload"]["metadata"]["seed"] = 999
+    path.write_text(json.dumps(document))
+    with pytest.raises(ArtifactError, match="checksum"):
+        registry.promote("bad")
+    # The pointer never moved: the good version still serves.
+    assert registry.current_version() == "good"
+
+
+def test_promote_refuses_truncated_artifact(registry):
+    registry.publish(_artifact(), version="torn")
+    path = registry.artifact_path("torn")
+    path.write_bytes(path.read_bytes()[:100])
+    with pytest.raises(ArtifactError):
+        registry.promote("torn")
+    assert registry.current_version() is None
+
+
+def test_rollback_returns_to_previous_version(registry):
+    registry.publish(_artifact(0), version="a")
+    registry.publish(_artifact(1), version="b")
+    registry.promote("a")
+    registry.promote("b")
+    version, artifact = registry.rollback()
+    assert version == "a"
+    assert artifact.metadata["seed"] == 0
+    assert registry.current_version() == "a"
+    # Roll-forward is possible: rollback records where we came from.
+    assert registry.previous_version() == "b"
+    version, _ = registry.rollback()
+    assert version == "b"
+
+
+def test_rollback_without_history_raises(registry):
+    with pytest.raises(RegistryError, match="promoted"):
+        registry.rollback()
+    registry.publish(_artifact(), version="only")
+    registry.promote("only")
+    with pytest.raises(RegistryError, match="history"):
+        registry.rollback()
+
+
+def test_rollback_reverifies_the_old_artifact(registry):
+    registry.publish(_artifact(0), version="a")
+    registry.publish(_artifact(1), version="b")
+    registry.promote("a")
+    registry.promote("b")
+    path = registry.artifact_path("a")
+    path.write_bytes(path.read_bytes()[:80])  # damaged while out of service
+    with pytest.raises(ArtifactError):
+        registry.rollback()
+    assert registry.current_version() == "b"  # pointer never moved
+
+
+# ----------------------------------------------------------------------
+# Pointer + reads
+# ----------------------------------------------------------------------
+def test_load_current_before_any_promotion_raises(registry):
+    registry.publish(_artifact())
+    with pytest.raises(RegistryError, match="promote"):
+        registry.load_current()
+
+
+def test_load_current_returns_verified_artifact(registry):
+    registry.publish(_artifact(5), version="v1")
+    registry.promote("v1")
+    version, artifact = registry.load_current()
+    assert version == "v1"
+    assert artifact.metadata["seed"] == 5
+    # The served predictions are bit-identical to the published artifact's.
+    original, restored = _artifact(5).engine(), artifact.engine()
+    for app in ("alpha", "beta"):
+        for model in original.model_names:
+            assert restored.predict(app, "beta", model) == original.predict(
+                app, "beta", model
+            )
+
+
+def test_garbled_pointer_raises_registry_error(registry):
+    registry.publish(_artifact(), version="v1")
+    registry.promote("v1")
+    registry.pointer_path.write_text("not json {")
+    with pytest.raises(RegistryError, match="pointer"):
+        registry.current_version()
+    # entries() still lists versions despite the broken pointer.
+    assert [e.version for e in registry.entries()] == ["v1"]
+
+
+def test_pointer_update_is_atomic_rename(registry, tmp_path):
+    registry.publish(_artifact(), version="v1")
+    registry.promote("v1")
+    # No temp droppings anywhere in the registry after a promotion.
+    leftovers = [
+        p for p in registry.root.rglob("*") if p.suffix == ".tmp"
+    ]
+    assert leftovers == []
+    assert (registry.root / CURRENT_POINTER).exists()
+
+
+def test_describe_is_json_ready(registry):
+    registry.publish(_artifact(0), version="a")
+    registry.publish(_artifact(1), version="b")
+    registry.promote("b")
+    document = registry.describe()
+    json.dumps(document)  # must serialize
+    assert document["current"] == "b"
+    assert [row["version"] for row in document["versions"]] == ["a", "b"]
+    assert [row["current"] for row in document["versions"]] == [False, True]
+    assert all(len(row["sha256"]) == 64 for row in document["versions"])

@@ -155,9 +155,48 @@ def test_missing_fields_are_400(server):
 
 def test_batch_with_malformed_body_is_400(server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
-        _post(server, "/predict/batch", {"requests": [["alpha", "beta"]]})
+        _post(server, "/predict/batch", {"requests": [["alpha"]]})
     assert excinfo.value.code == 400
-    assert "triple" in _error_of(excinfo.value)
+    assert "[app, other, model]" in _error_of(excinfo.value)
+
+
+def test_batch_pair_entry_expands_to_all_models(server):
+    # A 2-tuple (or null model) means "all models", like /predict.
+    status, document = _post(server, "/predict/batch", {"requests": [["alpha", "beta"]]})
+    assert status == 200
+    answered = {(p["model"]): p["predicted"] for p in document["predictions"]}
+    assert sorted(answered) == server.engine.model_names
+    for model, predicted in answered.items():
+        assert predicted == server.engine.predict("alpha", "beta", model)
+
+
+def test_batch_null_model_matches_explicit_triples(server):
+    status, with_null = _post(
+        server, "/predict/batch", {"requests": [["beta", "alpha", None]]}
+    )
+    assert status == 200
+    _, explicit = _post(
+        server,
+        "/predict/batch",
+        {"requests": [["beta", "alpha", m] for m in server.engine.model_names]},
+    )
+    assert with_null["predictions"] == explicit["predictions"]
+
+
+def test_malformed_content_length_is_400_not_crash(server):
+    url = f"http://127.0.0.1:{server.server_port}/predict/batch"
+    request = urllib.request.Request(
+        url, data=b'{"requests": []}', method="POST"
+    )
+    # urllib would set a correct Content-Length; sabotage it post-hoc.
+    request.add_unredirected_header("Content-Length", "not-a-number")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 400
+    assert "Content-Length" in _error_of(excinfo.value)
+    # The handler thread survived; the server still answers.
+    status, _ = _get(server, "/healthz")
+    assert status == 200
 
 
 def test_batch_with_non_json_body_is_400(server):
@@ -217,6 +256,37 @@ def test_error_responses_are_counted_by_status(server):
     )
 
 
+def test_unknown_paths_collapse_to_one_endpoint_label(server):
+    # Arbitrary client paths must not mint unbounded telemetry label
+    # cardinality: every unmatched path lands on the fixed <unknown> label.
+    telemetry.enable()
+    for path in ("/nope", "/admin", "/predict/../../etc/passwd", "/x" * 50):
+        with pytest.raises(urllib.error.HTTPError):
+            _get(server, path)
+    registry = telemetry.registry()
+    assert (
+        registry.counter_value(
+            "serving.requests", endpoint="<unknown>", status=404
+        )
+        == 4.0
+    )
+    snapshot = registry.snapshot()
+    labelled = [k for k in snapshot["counters"] if "serving.requests" in k]
+    assert all("/nope" not in k and "/admin" not in k for k in labelled)
+
+
+def test_healthz_counts_served_requests(server):
+    before = _get(server, "/healthz")[1]["requests_served"]
+    _get(server, "/predict?app=alpha&other=beta")
+    with pytest.raises(urllib.error.HTTPError):
+        _get(server, "/nope")  # errors count too: it is a served response
+    after = _get(server, "/healthz")[1]["requests_served"]
+    # healthz snapshots *before* counting itself, so the delta covers the
+    # first healthz, the predict, and the 404.
+    assert after == before + 3
+    assert server.requests_served >= after
+
+
 def test_metrics_endpoint_returns_snapshot(server):
     telemetry.enable()
     _get(server, "/healthz")
@@ -231,3 +301,82 @@ def test_no_metrics_recorded_when_disabled(server):
     assert not any(
         "serving" in key for key in snapshot.get("counters", {})
     )
+
+
+# ----------------------------------------------------------------------
+# Micro-batching
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def batching_server():
+    observations, degradations, signatures, cal = make_catalog(
+        apps=("alpha", "beta"), configs=5
+    )
+    artifact = ModelArtifact(
+        observations=observations,
+        degradations=degradations,
+        signatures=signatures,
+        calibration=cal,
+    )
+    instance = PredictionServer(artifact, port=0, batch_window=0.02)
+    instance.serve_background()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+def test_microbatched_predictions_match_direct_engine(batching_server):
+    server = batching_server
+    import concurrent.futures
+
+    def one(pair):
+        app, other = pair
+        return _get(server, f"/predict?app={app}&other={other}")[1]
+
+    pairs = [("alpha", "beta"), ("beta", "alpha"), ("alpha", "alpha")] * 4
+    with concurrent.futures.ThreadPoolExecutor(max_workers=6) as pool:
+        documents = list(pool.map(one, pairs))
+    for (app, other), document in zip(pairs, documents):
+        for model, predicted in document["predictions"].items():
+            assert predicted == server.engine.predict(app, other, model)
+
+
+def test_microbatch_coalesces_concurrent_requests(batching_server):
+    server = batching_server
+    telemetry.enable()
+    import concurrent.futures
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+        list(
+            pool.map(
+                lambda _: _get(server, "/predict?app=alpha&other=beta"),
+                range(24),
+            )
+        )
+    registry = telemetry.registry()
+    flushes = registry.counter_value("serving.microbatch_flushes")
+    sizes = registry.histogram_state("serving.microbatch_size")
+    assert flushes >= 1 and sizes["count"] == flushes
+    # 24 concurrent requests through a 20ms window must coalesce at least
+    # once; requiring fewer flushes than requests keeps this un-flaky.
+    assert flushes < 24
+
+
+def test_microbatch_isolates_bad_requests(batching_server):
+    server = batching_server
+    import concurrent.futures
+
+    def good():
+        return _get(server, "/predict?app=alpha&other=beta")[0]
+
+    def bad():
+        try:
+            _get(server, "/predict?app=ghost&other=beta")
+            return 200
+        except urllib.error.HTTPError as exc:
+            return exc.code
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+        goods = [pool.submit(good) for _ in range(6)]
+        bads = [pool.submit(bad) for _ in range(3)]
+        assert [f.result() for f in goods] == [200] * 6
+        assert [f.result() for f in bads] == [400] * 3
