@@ -114,17 +114,8 @@ def _post(port: int, path: str, document: dict) -> dict:
 
 def _histogram_percentile(state: dict, quantile: float) -> float:
     """Upper-edge percentile estimate from a log₂-bucket histogram state."""
-    count = int(state["count"])
-    if count == 0:
-        return float("nan")
-    exponents = sorted(int(k) for k in state["buckets"] if k != "zero")
-    target = quantile * count
-    seen = state["buckets"].get("zero", 0)
-    for exponent in exponents:
-        seen += state["buckets"][str(exponent)]
-        if seen >= target:
-            return 2.0 ** (exponent + 1)
-    return float(state["max"])  # pragma: no cover - rounding tail
+    estimate = telemetry.histogram_percentile(state, quantile)
+    return float("nan") if estimate is None else estimate
 
 
 def _merge_bench(artifact_dir, section: str, payload: dict) -> None:

@@ -24,6 +24,8 @@ Examples::
     repro serve --registry results/registry --port 8100 \
         --http-workers 4 --batch-window 2  # sharded, hot-reloading, batching
     repro registry rollback --registry results/registry  # serving tier flips back
+    repro top --cache results/cache      # live view of a campaign in flight
+    repro campaign --telemetry --log campaign.jsonl   # structured task logs
     repro report --cache results/cache
 """
 
@@ -64,6 +66,7 @@ _COMMON_DEFAULTS = {
     "retry_backoff": 0.1,
     "failure_budget": 0,
     "telemetry": None,
+    "log": None,
     "json": False,
     "topology": "single",
     "leaves": 2,
@@ -171,6 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         default=argparse.SUPPRESS,
         help="force telemetry off, overriding REPRO_TELEMETRY",
+    )
+    common.add_argument(
+        "--log",
+        metavar="TARGET",
+        default=argparse.SUPPRESS,
+        help="JSON-lines structured log sink: 'stderr' or a file path "
+        "(appended); overrides the REPRO_LOG env var (default: REPRO_LOG, "
+        "off when unset)",
     )
     common.add_argument(
         "--json",
@@ -337,6 +348,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="max coalesced requests per micro-batch solve (default 64)",
+    )
+    serve.add_argument(
+        "--stats-dir",
+        metavar="DIR",
+        help="directory for the per-shard stats rendezvous backing "
+        "/metrics/fleet (default: a private temp dir when sharded, "
+        "standalone fleet-of-one otherwise)",
+    )
+    serve.add_argument(
+        "--stats-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between periodic per-shard stats publishes "
+        "(default 2.0; shards also publish before answering "
+        "/metrics/fleet and /healthz)",
+    )
+
+    top = command("top", "live view of a running campaign (tails telemetry.live.json)")
+    top.add_argument(
+        "--refresh",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between screen refreshes (default 2.0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (no screen clearing; for scripts/CI)",
     )
 
     registry_cmd = command(
@@ -588,6 +629,45 @@ def _registry_verb(
     return 0
 
 
+def _top_main(args: argparse.Namespace) -> int:
+    """The `repro top` command: tail ``telemetry.live.json`` as a live table."""
+    import time as _time
+
+    from .telemetry.live import LIVE_REPORT_NAME, load_live, render_top
+
+    path = Path(args.cache) / LIVE_REPORT_NAME
+    refresh = max(0.1, args.refresh)
+    announced = False
+    try:
+        while True:
+            document = load_live(path)
+            if document is None:
+                if args.once:
+                    print(
+                        f"repro top: no live document at {path} — is a "
+                        "campaign running with telemetry on?",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if not announced:
+                    print(f"repro top: waiting for {path} ...", file=sys.stderr)
+                    announced = True
+                _time.sleep(refresh)
+                continue
+            frame = render_top(document)
+            if args.once:
+                print(frame, end="")
+                return 0
+            # ANSI clear + home keeps the table refreshing in place.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame)
+            sys.stdout.flush()
+            if document.get("complete"):
+                return 0
+            _time.sleep(refresh)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
 def _serve_main(args: argparse.Namespace, pipeline) -> int:
     """The `repro serve` command: single-process or pre-forked sharding."""
     from .serving import (
@@ -607,7 +687,10 @@ def _serve_main(args: argparse.Namespace, pipeline) -> int:
               file=sys.stderr)
         return 1
     batch_window = args.batch_window / 1000.0  # CLI takes milliseconds
-    endpoints = "(endpoints: /healthz /models /predict /predict/batch /metrics)"
+    endpoints = (
+        "(endpoints: /healthz /models /predict /predict/batch "
+        "/metrics /metrics/fleet)"
+    )
 
     if args.http_workers > 1:
         # Pre-forked sharding: workers re-load the source from disk, so an
@@ -627,11 +710,14 @@ def _serve_main(args: argparse.Namespace, pipeline) -> int:
             reload_interval=args.reload_interval,
             batch_window=batch_window,
             batch_max_size=args.batch_max,
+            stats_dir=args.stats_dir,
+            stats_interval=args.stats_interval,
         )
         sharded.start()
         print(
             f"serving on http://{args.host}:{sharded.port} across "
-            f"{args.http_workers} SO_REUSEPORT shards {endpoints}",
+            f"{args.http_workers} SO_REUSEPORT shards "
+            f"(fleet stats dir: {sharded.stats_dir}) {endpoints}",
             file=sys.stderr,
             flush=True,
         )
@@ -658,6 +744,8 @@ def _serve_main(args: argparse.Namespace, pipeline) -> int:
                 reload_interval=args.reload_interval,
                 batch_window=batch_window,
                 batch_max_size=args.batch_max,
+                stats_dir=args.stats_dir,
+                stats_interval=args.stats_interval,
             )
         except (RegistryError, ArtifactError) as exc:
             print(f"repro serve: {exc}", file=sys.stderr)
@@ -673,6 +761,8 @@ def _serve_main(args: argparse.Namespace, pipeline) -> int:
             port=args.port,
             batch_window=batch_window,
             batch_max_size=args.batch_max,
+            stats_dir=args.stats_dir,
+            stats_interval=args.stats_interval,
         )
     state = server.state
     print(
@@ -700,11 +790,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry_mod.enable()
     elif args.telemetry is False:
         telemetry_mod.disable()
-    # Artifact-backed predict/serve and the registry listing never touch the
-    # cache: skip building the pipeline entirely, so they neither create the
-    # cache directory nor trigger the legacy-cache migration.
+    if args.log is not None:
+        telemetry_mod.logs.configure(args.log)
+    # Artifact-backed predict/serve, the registry listing, and `repro top`
+    # never touch the cache: skip building the pipeline entirely, so they
+    # neither create the cache directory nor trigger the legacy-cache
+    # migration (`top` only reads the live file's path).
     cache_free = (
-        args.command == "engines"
+        args.command in ("engines", "top")
         or (args.command in ("predict", "serve") and getattr(args, "artifact", None))
         or (args.command == "serve" and getattr(args, "registry", None))
         or (
@@ -866,6 +959,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _registry_main(args, pipeline, human)
     elif args.command == "serve":
         return _serve_main(args, pipeline)
+    elif args.command == "top":
+        return _top_main(args)
     elif args.command == "profile":
         from .core.experiments.catalog import paper_applications
         from .trace import profile_workload, render_profile

@@ -45,6 +45,7 @@ from ...errors import CampaignError, ExperimentError, FailureRecord
 from ...faults import active_fault_plan, current_attempt
 from ...parallel import RetryPolicy, default_worker_count, run_tasks
 from ...queueing import ServiceEstimate
+from ...telemetry.live import LIVE_REPORT_NAME, LiveReporter
 from ...telemetry.report import TELEMETRY_REPORT_NAME, build_report, write_report
 from ...units import MS
 from ...workloads import CompressionConfig, Workload
@@ -174,16 +175,76 @@ def run_experiment(descriptor: ExperimentDescriptor) -> object:
 
 
 class _CampaignProgress:
-    """Completed/total, elapsed, and ETA reporting for one campaign."""
+    """Completed/total, elapsed, ETA, and live-file reporting for one campaign.
 
-    def __init__(self, total: int, verbose: bool) -> None:
+    Human-facing progress goes to stderr; with a :class:`LiveReporter`
+    attached, every advance also feeds the throttled atomic rewrite of
+    ``telemetry.live.json`` that ``repro top`` tails.
+    """
+
+    def __init__(
+        self, total: int, verbose: bool, reporter: Optional[LiveReporter] = None
+    ) -> None:
         self.total = total
         self.done = 0
         self.start = time.time()
         self.verbose = verbose
+        self.reporter = reporter
+        self.stage = "pending"
+        self.failed = 0
+        self.retried = 0
+        self.stages: List[Dict[str, object]] = []
+        self._stage_done0 = 0
+        self._stage_start = self.start
+
+    def begin_stage(self, name: str, total: int) -> None:
+        self.stage = name
+        self._stage_done0 = self.done
+        self._stage_start = time.time()
+        self.stages.append({"stage": name, "total": total, "done": 0, "elapsed": 0.0})
+        self.publish(force=True)
+
+    def end_stage(self, failed: int, retried: int) -> None:
+        self.failed = failed
+        self.retried = retried
+        if self.stages:
+            entry = self.stages[-1]
+            entry["done"] = self.done - self._stage_done0
+            entry["elapsed"] = time.time() - self._stage_start
+        self.publish(force=True)
+
+    def progress_document(self) -> Dict[str, object]:
+        elapsed = time.time() - self.start
+        eta = (
+            (elapsed / self.done) * (self.total - self.done) if self.done else None
+        )
+        return {
+            "stage": self.stage,
+            "done": self.done,
+            "total": self.total,
+            "elapsed": elapsed,
+            "eta": eta,
+            "failed": self.failed,
+            "retried": self.retried,
+            "stages": [dict(entry) for entry in self.stages],
+        }
+
+    def publish(self, *, force: bool = False, complete: bool = False) -> None:
+        if self.reporter is None:
+            return
+        metrics = (
+            (lambda: telemetry.registry().snapshot()) if telemetry.enabled() else None
+        )
+        self.reporter.publish(
+            self.progress_document(), metrics, complete=complete, force=force
+        )
 
     def advance(self, key: str) -> None:
         self.done += 1
+        if self.stages:
+            self.stages[-1]["done"] = self.done - self._stage_done0
+            self.stages[-1]["elapsed"] = time.time() - self._stage_start
+        self.publish()
         if not self.verbose:
             return
         elapsed = time.time() - self.start
@@ -641,13 +702,21 @@ class ReproductionPipeline:
 
         start = time.time()
         pending = set(self.pending_keys())
-        progress = _CampaignProgress(len(pending), self.verbose)
+        # The live document only makes sense with telemetry on and a real
+        # cache directory to sit next to; a dark campaign pays nothing.
+        reporter = (
+            LiveReporter(self._cache.directory / LIVE_REPORT_NAME)
+            if telemetry_on and self._cache.directory is not None
+            else None
+        )
+        progress = _CampaignProgress(len(pending), self.verbose, reporter=reporter)
         failures: List[FailureRecord] = []
         transients: List[FailureRecord] = []
         phases: Dict[str, Dict[str, float]] = {}
 
-        def staged(name: str, run: Callable[[], object]) -> object:
+        def staged(name: str, total: int, run: Callable[[], object]) -> object:
             """Run one dependency stage under a span, tracking wall/CPU."""
+            progress.begin_stage(name, total)
             wall0, cpu0 = time.time(), time.process_time()
             with telemetry.span(f"stage:{name}", "pipeline", engine=self.settings.engine):
                 result = run()
@@ -655,12 +724,14 @@ class ReproductionPipeline:
                 "wall": time.time() - wall0,
                 "cpu": time.process_time() - cpu0,
             }
+            progress.end_stage(len(failures), len(transients))
             return result
 
         if self._key("calibration") in pending:
             calibration = self._calibration_descriptor()
             report = staged(
                 "calibration",
+                1,
                 lambda: self._run_stage(
                     [calibration], 1, 1, progress, failures, transients
                 ),
@@ -670,6 +741,7 @@ class ReproductionPipeline:
                 self._write_telemetry_report(
                     telemetry_on, phases, self._campaign_meta(count, start, failures, transients), start
                 )
+                progress.publish(force=True, complete=True)
                 raise CampaignError(
                     "calibration failed permanently — no experiment can run "
                     "without it: " + failures[-1].describe(),
@@ -693,6 +765,7 @@ class ReproductionPipeline:
         )
         staged(
             "measurements",
+            len(stage_one),
             lambda: self._run_stage(stage_one, count, chunk, progress, failures, transients),
         )
 
@@ -735,6 +808,7 @@ class ReproductionPipeline:
                     )
         staged(
             "dependents",
+            len(stage_two),
             lambda: self._run_stage(stage_two, count, chunk, progress, failures, transients),
         )
 
@@ -743,6 +817,8 @@ class ReproductionPipeline:
         telemetry_path = self._write_telemetry_report(
             telemetry_on, phases, self._campaign_meta(count, start, failures, transients), start
         )
+        # Final live frame — marked complete so `repro top` knows to stop.
+        progress.publish(force=True, complete=True)
         # ``unsupported`` records are deterministic model refusals (and their
         # cascades) — documented holes, not flakiness — so only the other
         # categories are charged against the failure budget.

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from .. import faults, telemetry
+from ..telemetry import logs
 from ..errors import (
     ConfigurationError,
     ExperimentError,
@@ -189,15 +190,61 @@ def _run_chunk(
 
 
 # ----------------------------------------------------------------------
-# Driver-side telemetry
+# Driver-side telemetry & structured task lifecycle log
 # ----------------------------------------------------------------------
-def _record_task_landed() -> None:
+def _record_task_scheduled(key: str, attempt: int) -> None:
+    if logs.enabled():
+        logs.log_event("runner.task_scheduled", key=key, attempt=attempt)
+
+
+def _record_task_landed(key: str, attempt: int, elapsed: float) -> None:
     if telemetry.enabled():
-        telemetry.registry().counter_inc("runner.tasks_completed")
+        registry = telemetry.registry()
+        registry.counter_inc("runner.tasks_completed")
+        registry.observe("runner.task_seconds", elapsed)
+    if logs.enabled():
+        logs.log_event(
+            "runner.task_completed",
+            key=key,
+            attempt=attempt,
+            seconds=round(elapsed, 6),
+        )
 
 
-def _record_attempt_failure(category: str, terminal: bool, delay: float = 0.0) -> None:
-    """Count one failed attempt: terminal hole vs retried transient."""
+def _record_attempt_failure(
+    key: str,
+    category: str,
+    terminal: bool,
+    attempt: int,
+    message: str,
+    delay: float = 0.0,
+) -> None:
+    """Count one failed attempt: terminal hole vs retried transient.
+
+    With structured logging on, the same bookkeeping emits
+    ``runner.task_failed`` / ``runner.task_retry`` events keyed by the
+    experiment descriptor (timeout kills arrive with
+    ``category="timeout"``), so a fleet log join reconstructs every task's
+    attempt history.
+    """
+    if logs.enabled():
+        if terminal:
+            logs.log_event(
+                "runner.task_failed",
+                key=key,
+                category=category,
+                attempts=attempt,
+                message=message,
+            )
+        else:
+            logs.log_event(
+                "runner.task_retry",
+                key=key,
+                category=category,
+                attempt=attempt,
+                delay=round(delay, 3),
+                message=message,
+            )
     if not telemetry.enabled():
         return
     registry = telemetry.registry()
@@ -284,7 +331,8 @@ class _Scheduler:
     # -- outcome bookkeeping --------------------------------------------
     def _land(self, task: _Task, value: object) -> None:
         self.report.results[task.index] = value
-        _record_task_landed()
+        elapsed = time.monotonic() - task.started if task.started else 0.0
+        _record_task_landed(task.key, task.attempt, elapsed)
         if self.on_result is not None:
             self.on_result(task.index, task.key, value)
         del self.tasks[task.index]
@@ -306,12 +354,21 @@ class _Scheduler:
         )
         if task.attempt >= self.policy.max_attempts or category == "unsupported":
             self.report.failures.append(record)
-            _record_attempt_failure(category, terminal=True)
+            _record_attempt_failure(
+                task.key, category, terminal=True, attempt=task.attempt, message=message
+            )
             del self.tasks[task.index]
             return
         self.report.transients.append(record)
         delay = self.policy.backoff_delay(task.key, task.attempt + 1)
-        _record_attempt_failure(category, terminal=False, delay=delay)
+        _record_attempt_failure(
+            task.key,
+            category,
+            terminal=False,
+            attempt=task.attempt,
+            message=message,
+            delay=delay,
+        )
         task.attempt += 1
         self.waiting.append((time.monotonic() + delay, [task]))
 
@@ -355,6 +412,7 @@ class _Scheduler:
             now = time.monotonic()
             for task in chunk:
                 task.started = now
+                _record_task_scheduled(task.key, task.attempt)
             entries = [
                 (task.index, task.key, task.attempt, task.item) for task in chunk
             ]
@@ -514,6 +572,7 @@ def _run_serial(
         while True:
             faults.set_current_attempt(task.attempt)
             task.started = time.monotonic()
+            _record_task_scheduled(task.key, task.attempt)
             try:
                 with telemetry.span(f"task:{task.key}", "runner", attempt=task.attempt):
                     value = function(task.item)  # type: ignore[arg-type]
@@ -529,19 +588,34 @@ def _run_serial(
                 )
                 if task.attempt >= policy.max_attempts or category == "unsupported":
                     report.failures.append(record)
-                    _record_attempt_failure(category, terminal=True)
+                    _record_attempt_failure(
+                        task.key,
+                        category,
+                        terminal=True,
+                        attempt=task.attempt,
+                        message=message,
+                    )
                     break
                 report.transients.append(record)
                 task.attempt += 1
                 delay = policy.backoff_delay(task.key, task.attempt)
-                _record_attempt_failure(category, terminal=False, delay=delay)
+                _record_attempt_failure(
+                    task.key,
+                    category,
+                    terminal=False,
+                    attempt=task.attempt - 1,
+                    message=message,
+                    delay=delay,
+                )
                 if delay > 0:
                     time.sleep(delay)
                 continue
             finally:
                 faults.set_current_attempt(1)
             report.results[task.index] = value
-            _record_task_landed()
+            _record_task_landed(
+                task.key, task.attempt, time.monotonic() - task.started
+            )
             if on_result is not None:
                 on_result(task.index, task.key, value)
             break

@@ -21,6 +21,7 @@ from .artifact import (
     load_artifact,
     save_artifact,
 )
+from .fleet import fleet_document, publish_stats, read_shard_documents, stats_path
 from .prefork import ShardedPredictionServer
 from .registry import CURRENT_POINTER, ModelRegistry, RegistryEntry
 from .server import PredictionServer, ServingState, UNKNOWN_ENDPOINT
@@ -38,4 +39,8 @@ __all__ = [
     "ServingState",
     "UNKNOWN_ENDPOINT",
     "ShardedPredictionServer",
+    "fleet_document",
+    "publish_stats",
+    "read_shard_documents",
+    "stats_path",
 ]

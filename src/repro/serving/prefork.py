@@ -12,7 +12,11 @@ Each worker is a full :class:`PredictionServer`: it serves from the same
 on-disk registry (or artifact file), runs its own hot-reload watcher, and
 reports its own ``pid`` in ``/healthz`` — so a promotion flips every shard
 within one ``reload_interval``, and clients can observe the sharding by
-sampling pids.
+sampling pids.  Every worker also publishes its stats document into a
+shared ``stats_dir`` (see :mod:`repro.serving.fleet`), so ``GET
+/metrics/fleet`` on the shared port — whichever shard the kernel picks —
+answers with the whole fleet's merged metrics, and ``/healthz`` shows a
+promotion flipping shard-by-shard.
 
 Workers are handed *paths*, not live objects: each process loads the
 artifact/registry from disk itself, which keeps the parent↔child surface
@@ -23,12 +27,15 @@ state.
 from __future__ import annotations
 
 import multiprocessing
+import shutil
 import socket
+import tempfile
 import time
 from pathlib import Path
 from typing import List, Optional
 
 from .. import telemetry
+from ..telemetry import logs
 from ..errors import ModelError
 
 __all__ = ["ShardedPredictionServer"]
@@ -43,6 +50,9 @@ def _worker_main(
     batch_window: float,
     batch_max_size: int,
     telemetry_on: bool,
+    stats_dir: Optional[str],
+    stats_interval: float,
+    log_target: Optional[str],
 ) -> None:  # pragma: no cover - runs in child processes
     # Imported here so a spawn-context child pays the import cost itself.
     from .artifact import load_artifact
@@ -51,6 +61,7 @@ def _worker_main(
 
     if telemetry_on:
         telemetry.enable()
+    logs.configure(log_target)
     server = PredictionServer(
         artifact=load_artifact(artifact_path) if artifact_path else None,
         host=host,
@@ -60,6 +71,8 @@ def _worker_main(
         batch_window=batch_window,
         batch_max_size=batch_max_size,
         reuse_port=True,
+        stats_dir=stats_dir,
+        stats_interval=stats_interval,
     )
     try:
         server.serve_forever()
@@ -95,6 +108,11 @@ class ShardedPredictionServer:
         workers: worker process count (>= 1).
         reload_interval / batch_window / batch_max_size: forwarded to every
             worker's :class:`PredictionServer`.
+        stats_dir: shared directory for the per-shard stats rendezvous
+            (``/metrics/fleet`` aggregation).  ``None`` (default) creates a
+            private temp dir, removed on :meth:`stop`.
+        stats_interval: seconds between each shard's periodic stats
+            publishes.
     """
 
     def __init__(
@@ -107,6 +125,8 @@ class ShardedPredictionServer:
         reload_interval: float = 1.0,
         batch_window: float = 0.0,
         batch_max_size: int = 64,
+        stats_dir: Optional[str | Path] = None,
+        stats_interval: float = 2.0,
     ) -> None:
         if (artifact_path is None) == (registry_root is None):
             raise ModelError(
@@ -121,6 +141,10 @@ class ShardedPredictionServer:
         if port == 0:
             port, self._placeholder = _claim_port(host)
         self.port = port
+        self._owns_stats_dir = stats_dir is None
+        if stats_dir is None:
+            stats_dir = tempfile.mkdtemp(prefix="repro-serving-stats-")
+        self.stats_dir = Path(stats_dir)
         self._spec = (
             host,
             port,
@@ -130,6 +154,9 @@ class ShardedPredictionServer:
             batch_window,
             batch_max_size,
             telemetry.enabled(),
+            str(self.stats_dir),
+            stats_interval,
+            logs.target(),
         )
         self._processes: List[multiprocessing.Process] = []
 
@@ -185,6 +212,8 @@ class ShardedPredictionServer:
         if self._placeholder is not None:
             self._placeholder.close()
             self._placeholder = None
+        if self._owns_stats_dir:
+            shutil.rmtree(self.stats_dir, ignore_errors=True)
 
     def alive(self) -> int:
         """How many worker processes are currently alive."""

@@ -15,7 +15,16 @@
   scored in one :meth:`~repro.core.models.PredictionEngine.predict_batch`
   call; ``model`` may be ``null`` or omitted (a 2-tuple) to answer all
   models, matching ``/predict`` semantics.
-* ``GET  /metrics``        — the telemetry registry's snapshot as JSON.
+* ``GET  /metrics``        — the telemetry registry's snapshot; JSON by
+  default, Prometheus text exposition with ``Accept: text/plain``.
+* ``GET  /metrics/fleet``  — every live shard's snapshot merged via the
+  stats-dir rendezvous (see :mod:`repro.serving.fleet`); any shard
+  answers for the whole fleet.  Same content negotiation as ``/metrics``.
+
+**Request ids.**  Every response echoes an ``X-Request-Id`` header — the
+client's, if it sent a sane one, otherwise a freshly minted hex id — and
+the same id tags the request's structured log events (request,
+microbatch flush) when ``REPRO_LOG`` is on.
 
 **Hot reload.**  When constructed over a registry, a daemon watcher thread
 polls the registry's ``CURRENT`` pointer every ``reload_interval`` seconds.
@@ -59,18 +68,26 @@ import os
 import socket
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from .. import telemetry
+from ..telemetry import logs
+from ..telemetry.exposition import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from ..core.models import PredictionEngine
 from ..errors import ModelError, ReproError
+from . import fleet
 from .artifact import ModelArtifact
 from .registry import ModelRegistry
 
 __all__ = ["PredictionServer", "ServingState", "UNKNOWN_ENDPOINT"]
+
+#: Longest client-supplied ``X-Request-Id`` honored before we mint our own.
+_REQUEST_ID_MAX = 128
 
 #: Fixed telemetry endpoint label for paths that match no route — using the
 #: raw request path would let clients mint unbounded label cardinality.
@@ -107,8 +124,36 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, document: dict, endpoint: str, t0: float) -> None:
-        body = json.dumps(document, sort_keys=True).encode("utf-8")
+    def _begin_request(self) -> str:
+        """Adopt the client's ``X-Request-Id`` (sanitized) or mint one.
+
+        The id is echoed on the response and bound to the handler thread so
+        every structured log event this request causes — including a
+        microbatch flush led from this thread — carries it.
+        """
+        raw = self.headers.get("X-Request-Id") or ""
+        request_id = "".join(
+            ch for ch in raw.strip() if ch.isprintable() and ch not in '"\\'
+        )[:_REQUEST_ID_MAX]
+        if not request_id:
+            request_id = uuid.uuid4().hex
+        self.request_id = request_id
+        logs.set_request_id(request_id)
+        return request_id
+
+    def _wants_prometheus(self) -> bool:
+        accept = self.headers.get("Accept") or ""
+        return "text/plain" in accept or "openmetrics" in accept
+
+    def _finish(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        endpoint: str,
+        t0: float,
+    ) -> None:
+        seconds = time.perf_counter() - t0
         self.server.note_request()
         # Metrics land before the response bytes: a client that has seen the
         # reply must also see the request counted.
@@ -118,16 +163,35 @@ class _Handler(BaseHTTPRequestHandler):
                 "serving.requests", endpoint=endpoint, status=status
             )
             registry.observe(
-                "serving.request_seconds", time.perf_counter() - t0, endpoint=endpoint
+                "serving.request_seconds", seconds, endpoint=endpoint
+            )
+        if logs.enabled():
+            logs.log_event(
+                "serving.request",
+                endpoint=endpoint,
+                status=status,
+                seconds=round(seconds, 6),
+                method=self.command,
+                path=self.path,
             )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", getattr(self, "request_id", ""))
         self.end_headers()
         try:
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass
+
+    def _send_json(self, status: int, document: dict, endpoint: str, t0: float) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self._finish(status, body, "application/json", endpoint, t0)
+
+    def _send_text(
+        self, status: int, text: str, endpoint: str, t0: float, content_type: str
+    ) -> None:
+        self._finish(status, text.encode("utf-8"), content_type, endpoint, t0)
 
     def _read_body(self) -> dict:
         raw_length = self.headers.get("Content-Length")
@@ -151,6 +215,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         t0 = time.perf_counter()
+        self._begin_request()
         url = urlparse(self.path)
         if url.path == "/healthz":
             self._send_json(200, self.server.health(), "/healthz", t0)
@@ -167,7 +232,29 @@ class _Handler(BaseHTTPRequestHandler):
                 t0,
             )
         elif url.path == "/metrics":
-            self._send_json(200, telemetry.registry().snapshot(), "/metrics", t0)
+            snapshot = telemetry.registry().snapshot()
+            if self._wants_prometheus():
+                self._send_text(
+                    200,
+                    render_prometheus(snapshot),
+                    "/metrics",
+                    t0,
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._send_json(200, snapshot, "/metrics", t0)
+        elif url.path == "/metrics/fleet":
+            document = self.server.fleet()
+            if self._wants_prometheus():
+                self._send_text(
+                    200,
+                    render_prometheus(document["metrics"]),
+                    "/metrics/fleet",
+                    t0,
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._send_json(200, document, "/metrics/fleet", t0)
         else:
             self._send_json(
                 404, {"error": f"unknown path {url.path!r}"}, UNKNOWN_ENDPOINT, t0
@@ -175,6 +262,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         t0 = time.perf_counter()
+        self._begin_request()
         url = urlparse(self.path)
         if url.path == "/predict":
             try:
@@ -302,6 +390,15 @@ class _MicroBatcher:
             registry = telemetry.registry()
             registry.counter_inc("serving.microbatch_flushes")
             registry.observe("serving.microbatch_size", float(len(slots)))
+        if logs.enabled():
+            # Emitted on the flush leader's handler thread, so the event
+            # inherits the leader's bound X-Request-Id.
+            logs.log_event(
+                "serving.microbatch_flush",
+                slots=len(slots),
+                triples=sum(len(slot.triples) for slot in slots),
+                version=state.version,
+            )
         for chunk_start in range(0, len(slots), self.max_size):
             chunk = slots[chunk_start : chunk_start + self.max_size]
             combined = [t for slot in chunk for t in slot.triples]
@@ -346,6 +443,13 @@ class PredictionServer(ThreadingHTTPServer):
         batch_max_size: max coalesced requests per engine solve.
         reuse_port: bind with ``SO_REUSEPORT`` so sibling processes can
             share the port (pre-fork sharding).
+        stats_dir: directory for the per-pid fleet stats rendezvous (see
+            :mod:`repro.serving.fleet`).  ``None`` (default) keeps the
+            server standalone; ``/metrics/fleet`` then reports a fleet of
+            one.
+        stats_interval: seconds between periodic stats publishes (the
+            server also publishes synchronously before answering
+            ``/metrics/fleet`` or ``/healthz``).
     """
 
     daemon_threads = True
@@ -361,6 +465,8 @@ class PredictionServer(ThreadingHTTPServer):
         batch_window: float = 0.0,
         batch_max_size: int = 64,
         reuse_port: bool = False,
+        stats_dir: "Optional[str | Path]" = None,
+        stats_interval: float = 2.0,
     ) -> None:
         if (artifact is None) == (registry is None):
             raise ModelError(
@@ -396,6 +502,15 @@ class PredictionServer(ThreadingHTTPServer):
                 target=self._watch_registry, daemon=True, name="registry-watcher"
             )
             self._watcher.start()
+        self.stats_dir = Path(stats_dir) if stats_dir is not None else None
+        self.stats_interval = stats_interval
+        self._stats_thread: Optional[threading.Thread] = None
+        if self.stats_dir is not None:
+            self.publish_stats()
+            self._stats_thread = threading.Thread(
+                target=self._publish_loop, daemon=True, name="stats-publisher"
+            )
+            self._stats_thread.start()
 
     # Back-compat conveniences: the pre-registry server exposed these.
     @property
@@ -455,24 +570,79 @@ class PredictionServer(ThreadingHTTPServer):
             self.last_reload_error = str(exc)
             if telemetry.enabled():
                 telemetry.registry().counter_inc("serving.reload_failures")
+            if logs.enabled():
+                logs.log_event("serving.reload_failed", error=str(exc))
             return False
+        previous = self.state.version
         self.state = fresh  # the atomic swap: one reference assignment
         self.reloads += 1
         self.last_reload_error = None
         if telemetry.enabled():
             telemetry.registry().counter_inc("serving.reloads")
+        if logs.enabled():
+            logs.log_event("serving.reload", version=version, previous=previous)
         return True
+
+    # ------------------------------------------------------------------
+    # Fleet stats (see repro.serving.fleet for the rendezvous protocol)
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> dict:
+        """This process's publishable stats document (metrics included)."""
+        state = self.state
+        return {
+            "pid": os.getpid(),
+            "started_at": self.started_at,
+            "updated_at": time.time(),
+            "version": state.version,
+            "shard_requests_served": self.requests_served,
+            "reloads": self.reloads,
+            "reload_failures": self.reload_failures,
+            "last_reload_error": self.last_reload_error,
+            "metrics": telemetry.registry().snapshot(),
+        }
+
+    def publish_stats(self) -> None:
+        """Atomically (re)write this shard's stats file (no-op if no dir)."""
+        if self.stats_dir is not None:
+            fleet.publish_stats(self.stats_dir, self.shard_stats())
+
+    def _publish_loop(self) -> None:
+        while not self._stop_watcher.wait(self.stats_interval):
+            self.publish_stats()
+
+    def fleet(self) -> dict:
+        """The merged fleet view: every live shard's stats folded together.
+
+        Publishes this shard's own stats synchronously first, so the
+        answering shard is always current in the merge; without a stats
+        dir this is a fleet of one.
+        """
+        if self.stats_dir is not None:
+            self.publish_stats()
+            documents = fleet.read_shard_documents(self.stats_dir)
+            if documents:
+                document = fleet.fleet_document(documents)
+            else:
+                document = fleet.fleet_document([self.shard_stats()])
+        else:
+            document = fleet.fleet_document([self.shard_stats()])
+        if telemetry.enabled():
+            telemetry.registry().gauge_max(
+                "serving.fleet_shards", float(document["shard_count"])
+            )
+        return document
 
     # ------------------------------------------------------------------
     # Endpoint documents (thread-safe: each reads one immutable bundle)
     # ------------------------------------------------------------------
     def health(self) -> dict:
         state = self.state
+        fleet_view = self.fleet()
         return {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
             "version": state.version,
-            "requests_served": self.requests_served,
+            "shard_requests_served": self.requests_served,
             "reloads": self.reloads,
             "reload_failures": self.reload_failures,
             "last_reload_error": self.last_reload_error,
@@ -481,6 +651,11 @@ class PredictionServer(ThreadingHTTPServer):
             "models": state.engine.model_names,
             "apps": sorted(state.engine.signatures),
             "metadata": dict(state.artifact.metadata),
+            "fleet": {
+                "shard_count": fleet_view["shard_count"],
+                "requests_served": fleet_view["requests_served"],
+                "shards": fleet_view["shards"],
+            },
         }
 
     def models(self) -> dict:
@@ -555,4 +730,7 @@ class PredictionServer(ThreadingHTTPServer):
         self._stop_watcher.set()
         if self._watcher is not None:
             self._watcher.join(timeout=5.0)
+        if self._stats_thread is not None:
+            self._stats_thread.join(timeout=5.0)
+            self.publish_stats()  # final numbers for any still-running sibling
         super().server_close()

@@ -35,8 +35,23 @@ import os
 from contextlib import nullcontext
 from typing import ContextManager, List, Mapping, Optional
 
-from .metrics import MetricsRegistry, MetricsSnapshot, merge_snapshots
+from .metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    histogram_percentile,
+    merge_snapshots,
+    parse_key,
+    serialize_key,
+)
+from .exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    lint_exposition,
+    parse_exposition,
+    render_prometheus,
+)
 from .spans import SpanTracer, chrome_trace, span_summary
+from .live import LIVE_REPORT_NAME, LiveReporter, load_live, render_top
+from . import logs
 from .report import (
     TELEMETRY_REPORT_NAME,
     build_report,
@@ -51,8 +66,20 @@ __all__ = [
     "MetricsSnapshot",
     "SpanTracer",
     "merge_snapshots",
+    "parse_key",
+    "serialize_key",
+    "histogram_percentile",
+    "PROMETHEUS_CONTENT_TYPE",
+    "lint_exposition",
+    "parse_exposition",
+    "render_prometheus",
     "chrome_trace",
     "span_summary",
+    "logs",
+    "LIVE_REPORT_NAME",
+    "LiveReporter",
+    "load_live",
+    "render_top",
     "TELEMETRY_REPORT_NAME",
     "build_report",
     "load_report",

@@ -1,0 +1,304 @@
+"""Prometheus text exposition for :class:`~repro.telemetry.metrics.MetricsRegistry` snapshots.
+
+The registry's snapshot document is a plain JSON object, which is ideal for
+merging and archiving but invisible to the standard scrape ecosystem.  This
+module renders any snapshot in the Prometheus text exposition format
+(version 0.0.4):
+
+* counters become ``<name>_total`` sample lines;
+* gauges become plain sample lines;
+* log₂ histograms become cumulative ``_bucket{le="..."}`` series — bucket
+  exponent ``i`` covers ``[2^i, 2^(i+1))`` so its upper edge is
+  ``2^(i+1)`` — plus ``_sum`` and ``_count``.  The ``zero`` bucket folds
+  into the lowest edge (``le="0"``); ``nonfinite`` samples appear only in
+  ``le="+Inf"`` and ``_count``, matching their exclusion from ``sum``.
+
+Metric names are sanitized to the Prometheus charset (dots become
+underscores); label values are escaped per the exposition spec.  Output is
+sorted, so a fixed snapshot renders byte-identically — the golden-file test
+relies on this.
+
+Two consumers beyond the server live here too: :func:`parse_exposition`
+(inverse enough for tests and CI to sum counters across scrapes) and
+:func:`lint_exposition` (a regex-based format checker applied to live
+``/metrics`` scrapes in tests and the CI observability-smoke job).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Tuple
+
+from .metrics import NONFINITE_BUCKET, MetricsSnapshot, parse_key
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "lint_exposition",
+    "parse_exposition",
+    "render_prometheus",
+]
+
+#: Content type negotiated for ``GET /metrics`` with ``Accept: text/plain``.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize an instrument name to the Prometheus metric charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _label_name(name: str) -> str:
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not cleaned or not _LABEL_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _label_block(labels: Mapping[str, str], extra: "Tuple[Tuple[str, str], ...]" = ()) -> str:
+    pairs = [(_label_name(k), str(v)) for k, v in sorted(labels.items())]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _grouped(
+    table: Mapping[str, object], suffix: str = ""
+) -> "Dict[str, List[Tuple[Dict[str, str], object]]]":
+    """Group serialized-key entries by sanitized Prometheus family name."""
+    families: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
+    for key in sorted(table):
+        name, labels = parse_key(key)
+        family = _metric_name(name) + suffix
+        families.setdefault(family, []).append((labels, table[key]))
+    return families
+
+
+def _histogram_edges(buckets: Mapping[str, int]) -> "List[Tuple[float, int]]":
+    """Cumulative (upper_edge, count) pairs for finite samples, ascending."""
+    edges: List[Tuple[float, int]] = []
+    cumulative = buckets.get("zero", 0)
+    if cumulative:
+        edges.append((0.0, cumulative))
+    for exponent in sorted(
+        int(label) for label in buckets if label not in ("zero", NONFINITE_BUCKET)
+    ):
+        cumulative += buckets[str(exponent)]
+        edges.append((2.0 ** (exponent + 1), cumulative))
+    return edges
+
+
+def render_prometheus(snapshot: Mapping[str, object]) -> str:
+    """Render a metrics snapshot as Prometheus text exposition (0.0.4).
+
+    Deterministic for a given snapshot: families and samples are sorted, so
+    the output is diff-able and golden-testable.  Ends with a newline, as
+    the format requires.
+    """
+    lines: List[str] = []
+
+    counters = _grouped(snapshot.get("counters", {}), suffix="_total")
+    for family in sorted(counters):
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in counters[family]:
+            lines.append(f"{family}{_label_block(labels)} {_format_value(value)}")
+
+    gauges = _grouped(snapshot.get("gauges", {}))
+    for family in sorted(gauges):
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in gauges[family]:
+            lines.append(f"{family}{_label_block(labels)} {_format_value(value)}")
+
+    histograms = _grouped(snapshot.get("histograms", {}))
+    for family in sorted(histograms):
+        lines.append(f"# TYPE {family} histogram")
+        for labels, state in histograms[family]:
+            buckets: Mapping[str, int] = state.get("buckets", {})  # type: ignore[union-attr]
+            total = int(state.get("count", 0))  # type: ignore[arg-type]
+            for edge, cumulative in _histogram_edges(buckets):
+                block = _label_block(labels, (("le", _format_value(edge)),))
+                lines.append(f"{family}_bucket{block} {cumulative}")
+            block = _label_block(labels, (("le", "+Inf"),))
+            lines.append(f"{family}_bucket{block} {total}")
+            lines.append(
+                f"{family}_sum{_label_block(labels)} "
+                f"{_format_value(float(state.get('sum', 0.0)))}"  # type: ignore[arg-type]
+            )
+            lines.append(f"{family}_count{_label_block(labels)} {total}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Parsing & linting (test/CI consumers)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>NaN|[+-]Inf|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)"
+    r"(?: [0-9]+)?$"
+)
+_LABEL_RE = re.compile(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"\s*(,|$)')
+
+
+def _parse_label_body(body: str) -> "Dict[str, str]":
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_RE.match(body, pos)
+        if match is None:
+            raise ValueError(f"malformed label block: {body!r}")
+        raw = match.group(2)
+        labels[match.group(1)] = (
+            raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        pos = match.end()
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "NaN":
+        return float("nan")
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_exposition(text: str) -> "Dict[str, float]":
+    """Parse sample lines into ``name{k="v",...} -> value``.
+
+    Labels are re-serialized sorted, so two scrapes of the same instrument
+    map to the same key regardless of label order — which is what lets the
+    fleet property test sum counters across per-shard scrapes.
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        labels = _parse_label_body(match.group("labels") or "")
+        block = ""
+        if labels:
+            block = (
+                "{"
+                + ",".join(
+                    f'{k}="{_escape_label_value(labels[k])}"' for k in sorted(labels)
+                )
+                + "}"
+            )
+        samples[match.group("name") + block] = _parse_value(match.group("value"))
+    return samples
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Check text against the exposition format; return a list of problems.
+
+    An empty list means the document passed.  Checks: sample-line syntax,
+    one ``# TYPE`` per family declared before its first sample, counters
+    named ``*_total``, histogram bucket counts cumulative and
+    non-decreasing with a ``+Inf`` bucket equal to ``_count``, and a
+    trailing newline.
+    """
+    problems: List[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("document does not end with a newline")
+
+    declared: Dict[str, str] = {}
+    bucket_series: Dict[str, List[float]] = {}
+    counts: Dict[str, float] = {}
+    inf_buckets: Dict[str, float] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and declared.get(
+                sample_name[: -len(suffix)]
+            ) == "histogram":
+                return sample_name[: -len(suffix)]
+        return sample_name
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            family = parts[2]
+            if family in declared:
+                problems.append(f"line {lineno}: duplicate TYPE for {family}")
+            declared[family] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: malformed sample line: {line!r}")
+            continue
+        name = match.group("name")
+        try:
+            labels = _parse_label_body(match.group("labels") or "")
+        except ValueError as error:
+            problems.append(f"line {lineno}: {error}")
+            continue
+        family = family_of(name)
+        kind = declared.get(family)
+        if kind is None:
+            problems.append(f"line {lineno}: sample {name} has no preceding TYPE")
+            continue
+        if kind == "counter" and not name.endswith("_total"):
+            problems.append(f"line {lineno}: counter sample {name} not named *_total")
+        value = _parse_value(match.group("value"))
+        if kind == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                problems.append(f"line {lineno}: histogram bucket missing le label")
+                continue
+            series = family + _label_block(
+                {k: v for k, v in labels.items() if k != "le"}
+            )
+            bucket_series.setdefault(series, []).append(value)
+            if labels["le"] == "+Inf":
+                inf_buckets[series] = value
+        elif kind == "histogram" and name.endswith("_count"):
+            counts[family + _label_block(labels)] = value
+
+    for series, values in bucket_series.items():
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(f"histogram {series}: bucket counts not non-decreasing")
+        if series not in inf_buckets:
+            problems.append(f"histogram {series}: no le=\"+Inf\" bucket")
+    for series, count in counts.items():
+        if series in inf_buckets and inf_buckets[series] != count:
+            problems.append(
+                f"histogram {series}: +Inf bucket {inf_buckets[series]} != _count {count}"
+            )
+    return problems

@@ -31,7 +31,10 @@ from typing import Dict, Mapping, Optional
 __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
+    "NONFINITE_BUCKET",
+    "histogram_percentile",
     "merge_snapshots",
+    "parse_key",
     "serialize_key",
 ]
 
@@ -42,22 +45,92 @@ MetricsSnapshot = Dict[str, Dict[str, object]]
 _BUCKET_MIN = -64
 _BUCKET_MAX = 64
 
+#: Histogram bucket that tallies NaN/±inf samples (kept out of sum/extrema).
+NONFINITE_BUCKET = "nonfinite"
+
+#: Characters that would make ``name{k=v,...}`` ambiguous if they appeared
+#: raw inside a label value; each is backslash-escaped on serialize.
+_KEY_SPECIALS = "\\={,}"
+
+
+def _escape_label_value(value: str) -> str:
+    out = []
+    for ch in value:
+        if ch in _KEY_SPECIALS:
+            out.append("\\" + ch)
+        elif ch == "\n":
+            out.append("\\n")
+        else:
+            out.append(ch)
+    return "".join(out)
+
 
 def serialize_key(name: str, labels: Mapping[str, object]) -> str:
     """Stable string address of one instrument: ``name{k=v,...}``.
 
     Labels are sorted, so the same logical instrument always serializes to
-    the same key no matter the call-site keyword order.
+    the same key no matter the call-site keyword order.  Label values are
+    backslash-escaped (``\\`` ``=`` ``,`` ``{`` ``}`` and newlines) so that
+    hostile or merely unlucky values — request paths, error strings — can
+    never collide with a differently-labelled instrument.  :func:`parse_key`
+    is the exact inverse.
     """
     if not labels:
         return name
-    parts = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    parts = ",".join(
+        f"{k}={_escape_label_value(str(labels[k]))}" for k in sorted(labels)
+    )
     return f"{name}{{{parts}}}"
 
 
+def parse_key(key: str) -> "tuple[str, Dict[str, str]]":
+    """Invert :func:`serialize_key`: ``name{k=v,...}`` → ``(name, labels)``.
+
+    Backslash escapes produced by :func:`serialize_key` are undone, so
+    ``parse_key(serialize_key(n, l))`` round-trips for any label values.
+    Keys without labels parse as ``(key, {})``.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed instrument key: {key!r}")
+    name = key[:brace]
+    body = key[brace + 1 : -1]
+    labels: Dict[str, str] = {}
+    if not body:
+        return name, labels
+    label_key: Optional[str] = None
+    current: list = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            nxt = body[i + 1]
+            current.append("\n" if nxt == "n" else nxt)
+            i += 2
+            continue
+        if ch == "=" and label_key is None:
+            label_key = "".join(current)
+            current = []
+        elif ch == "," and label_key is not None:
+            labels[label_key] = "".join(current)
+            label_key = None
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if label_key is None:
+        raise ValueError(f"malformed instrument key: {key!r}")
+    labels[label_key] = "".join(current)
+    return name, labels
+
+
 def _bucket_of(value: float) -> str:
-    """Log₂ bucket label of a positive value (``"zero"`` for v <= 0)."""
-    if value <= 0.0 or not math.isfinite(value):
+    """Log₂ bucket label of a finite value (``"zero"`` for v <= 0)."""
+    if not math.isfinite(value):
+        return NONFINITE_BUCKET
+    if value <= 0.0:
         return "zero"
     index = int(math.floor(math.log2(value)))
     return str(max(_BUCKET_MIN, min(_BUCKET_MAX, index)))
@@ -105,18 +178,27 @@ class MetricsRegistry:
                 self._gauges[key] = float(value)
 
     def observe(self, name: str, value: float, **labels: object) -> None:
-        """Record one sample into a histogram."""
+        """Record one sample into a histogram.
+
+        Non-finite samples (NaN, ±inf) are tallied in the dedicated
+        :data:`NONFINITE_BUCKET` and counted, but kept out of ``sum`` and
+        the extrema — one bad sample must not poison a whole campaign's
+        aggregates with NaN.
+        """
         key = serialize_key(name, labels)
+        sample = float(value)
+        finite = math.isfinite(sample)
         with self._lock:
             state = self._histograms.get(key)
             if state is None:
                 state = self._histograms[key] = _empty_histogram()
             state["count"] = int(state["count"]) + 1  # type: ignore[arg-type]
-            state["sum"] = float(state["sum"]) + float(value)  # type: ignore[arg-type]
-            state["min"] = value if state["min"] is None else min(state["min"], value)  # type: ignore[type-var]
-            state["max"] = value if state["max"] is None else max(state["max"], value)  # type: ignore[type-var]
+            if finite:
+                state["sum"] = float(state["sum"]) + sample  # type: ignore[arg-type]
+                state["min"] = sample if state["min"] is None else min(state["min"], sample)  # type: ignore[type-var]
+                state["max"] = sample if state["max"] is None else max(state["max"], sample)  # type: ignore[type-var]
             buckets: Dict[str, int] = state["buckets"]  # type: ignore[assignment]
-            bucket = _bucket_of(float(value))
+            bucket = _bucket_of(sample)
             buckets[bucket] = buckets.get(bucket, 0) + 1
 
     # ------------------------------------------------------------------
@@ -218,3 +300,35 @@ def merge_snapshots(
     for key, state in right.get("histograms", {}).items():  # type: ignore[union-attr]
         histograms[key] = _merge_histogram(histograms.get(key, _empty_histogram()), state)
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def histogram_percentile(state: Mapping[str, object], quantile: float) -> Optional[float]:
+    """Upper-edge percentile estimate from a log₂ histogram state.
+
+    Walks buckets in value order (``zero`` first, then ascending exponents)
+    until the cumulative count covers ``quantile`` of the finite samples and
+    returns that bucket's upper edge (``2^(i+1)``) — a conservative bound,
+    exact to within one bucket width.  Non-finite samples are excluded; an
+    empty histogram returns ``None``.
+    """
+    buckets: Mapping[str, int] = state.get("buckets", {})  # type: ignore[assignment]
+    finite_total = sum(
+        count for label, count in buckets.items() if label != NONFINITE_BUCKET
+    )
+    if finite_total <= 0:
+        return None
+    maximum = state.get("max")
+    target = quantile * finite_total
+    seen = buckets.get("zero", 0)
+    if seen >= target:
+        return 0.0
+    for exponent in sorted(
+        int(label) for label in buckets if label not in ("zero", NONFINITE_BUCKET)
+    ):
+        seen += buckets[str(exponent)]
+        if seen >= target:
+            edge = 2.0 ** (exponent + 1)
+            # The observed maximum is a tighter bound than the top edge of
+            # the final bucket the quantile lands in.
+            return min(edge, float(maximum)) if maximum is not None else edge
+    return float(maximum) if maximum is not None else None

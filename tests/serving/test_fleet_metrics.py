@@ -1,0 +1,157 @@
+"""Fleet-wide metric aggregation across pre-forked shards.
+
+The acceptance property from the observability issue: under concurrent
+load against a ≥2-shard :class:`ShardedPredictionServer`, a single
+``/metrics/fleet`` scrape in Prometheus form passes the exposition linter
+and its ``serving.requests`` counter for ``/predict`` equals *exactly* the
+number of client requests issued.
+
+Exactness without sleeps relies on the stats-dir protocol: a shard
+publishes its own snapshot synchronously before answering ``/healthz`` or
+``/metrics/fleet``.  So the recipe is: finish the load, poll ``/healthz``
+until every worker pid has answered once (each answer refreshes that
+shard's stats file), then take one fleet scrape.
+"""
+
+import concurrent.futures
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.serving import (
+    ShardedPredictionServer,
+    read_shard_documents,
+    save_artifact,
+)
+from repro.telemetry import lint_exposition, parse_exposition, render_prometheus
+
+from .test_prefork import _artifact, _get
+
+PREDICT_KEY = 'serving_requests_total{endpoint="/predict",status="200"}'
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.reset()
+    telemetry.enable()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _get_text(port, path, accept="text/plain"):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", headers={"Accept": accept}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return dict(response.headers), response.read().decode("utf-8")
+
+
+def _await_all_shards(port, expected, timeout=15.0):
+    """Poll /healthz until `expected` distinct pids have answered.
+
+    Each answer also forces that shard to publish a fresh stats snapshot,
+    which is what makes the subsequent fleet scrape exact.
+    """
+    pids = set()
+    deadline = time.monotonic() + timeout
+    while len(pids) < expected and time.monotonic() < deadline:
+        pids.add(_get(port, "/healthz")["pid"])
+    assert len(pids) == expected, f"only shards {pids} answered within {timeout}s"
+    return pids
+
+
+def test_fleet_scrape_is_exact_under_concurrent_load(tmp_path):
+    issued = 60
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    sharded = ShardedPredictionServer(artifact_path=path, workers=2)
+    with sharded:
+
+        def one(_):
+            return _get(sharded.port, "/predict?app=alpha&other=beta")
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            documents = list(pool.map(one, range(issued)))
+        assert len(documents) == issued
+
+        pids = _await_all_shards(sharded.port, expected=2)
+
+        headers, text = _get_text(sharded.port, "/metrics/fleet")
+        assert headers["Content-Type"].startswith("text/plain")
+        assert lint_exposition(text) == []
+        samples = parse_exposition(text)
+        assert samples[PREDICT_KEY] == issued
+
+        # Property: the fleet counter is the sum of the per-shard scrapes.
+        shard_documents = read_shard_documents(sharded.stats_dir)
+        assert {doc["pid"] for doc in shard_documents} == pids
+        per_shard = [
+            parse_exposition(render_prometheus(doc["metrics"]))
+            for doc in shard_documents
+        ]
+        assert sum(doc.get(PREDICT_KEY, 0) for doc in per_shard) == issued
+        # Both shards actually took traffic (the kernel spreads 60 fresh
+        # connections across two listeners with overwhelming probability).
+        assert all(doc.get(PREDICT_KEY, 0) > 0 for doc in per_shard)
+
+        # The JSON form of the same endpoint carries the shard roster.
+        fleet = _get(sharded.port, "/metrics/fleet")
+        assert fleet["shard_count"] == 2
+        assert {shard["pid"] for shard in fleet["shards"]} == pids
+        counters = fleet["metrics"]["counters"]
+        predict = [
+            value
+            for key, value in counters.items()
+            if "serving.requests" in key and "/predict" in key
+        ]
+        assert sum(predict) == issued
+
+
+def test_healthz_reports_fleet_view(tmp_path):
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    sharded = ShardedPredictionServer(artifact_path=path, workers=2)
+    with sharded:
+        for _ in range(8):
+            _get(sharded.port, "/predict?app=alpha&other=beta")
+        pids = _await_all_shards(sharded.port, expected=2)
+
+        health = _get(sharded.port, "/healthz")
+        assert "requests_served" not in health  # renamed per-shard
+        assert health["shard_requests_served"] >= 0
+        fleet = health["fleet"]
+        assert fleet["shard_count"] == 2
+        assert {shard["pid"] for shard in fleet["shards"]} == pids
+        # Fleet total covers at least the predict load plus this health poll.
+        assert fleet["requests_served"] >= 9
+        for shard in fleet["shards"]:
+            assert shard["version"] == "unversioned"
+            assert shard["last_reload_error"] is None
+            assert shard["shard_requests_served"] >= 0
+
+
+def test_stats_dir_prunes_dead_shards(tmp_path):
+    path = save_artifact(_artifact(), tmp_path / "model.json")
+    stats_dir = tmp_path / "stats"
+    sharded = ShardedPredictionServer(
+        artifact_path=path, workers=2, stats_dir=stats_dir
+    )
+    with sharded:
+        _await_all_shards(sharded.port, expected=2)
+        live = read_shard_documents(stats_dir)
+        assert len(live) == 2
+
+        # Forge a stats file from a pid that is not running: pruned on read.
+        dead = dict(live[0])
+        dead["pid"] = 2 ** 22 + 12345  # beyond any plausible live pid
+        ghost = stats_dir / f"shard-{dead['pid']}.json"
+        ghost.write_text(json.dumps(dead))
+        after = read_shard_documents(stats_dir)
+        assert {doc["pid"] for doc in after} == {doc["pid"] for doc in live}
+        assert not ghost.exists()
+
+        # The fleet endpoint never counts the ghost either.
+        fleet = _get(sharded.port, "/metrics/fleet")
+        assert fleet["shard_count"] == 2

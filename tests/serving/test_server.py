@@ -276,15 +276,21 @@ def test_unknown_paths_collapse_to_one_endpoint_label(server):
 
 
 def test_healthz_counts_served_requests(server):
-    before = _get(server, "/healthz")[1]["requests_served"]
+    before = _get(server, "/healthz")[1]["shard_requests_served"]
     _get(server, "/predict?app=alpha&other=beta")
     with pytest.raises(urllib.error.HTTPError):
         _get(server, "/nope")  # errors count too: it is a served response
-    after = _get(server, "/healthz")[1]["requests_served"]
+    document = _get(server, "/healthz")[1]
+    after = document["shard_requests_served"]
     # healthz snapshots *before* counting itself, so the delta covers the
     # first healthz, the predict, and the 404.
     assert after == before + 3
     assert server.requests_served >= after
+    # Standalone server: the fleet view is a fleet of one, totalling the
+    # same tally under the aggregated name.
+    assert document["fleet"]["shard_count"] == 1
+    assert document["fleet"]["requests_served"] == after
+    assert document["fleet"]["shards"][0]["shard_requests_served"] == after
 
 
 def test_metrics_endpoint_returns_snapshot(server):
@@ -380,3 +386,101 @@ def test_microbatch_isolates_bad_requests(batching_server):
         bads = [pool.submit(bad) for _ in range(3)]
         assert [f.result() for f in goods] == [200] * 6
         assert [f.result() for f in bads] == [400] * 3
+
+
+# ----------------------------------------------------------------------
+# Request ids
+# ----------------------------------------------------------------------
+def _get_raw(server, path, headers=None):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def test_server_generates_request_id(server):
+    _status, headers, _body = _get_raw(server, "/healthz")
+    generated = headers.get("X-Request-Id")
+    assert generated
+    assert len(generated) == 32  # uuid4 hex
+    assert all(ch in "0123456789abcdef" for ch in generated)
+
+
+def test_client_request_id_is_echoed(server):
+    _status, headers, _body = _get_raw(
+        server, "/healthz", headers={"X-Request-Id": "trace-abc-123"}
+    )
+    assert headers.get("X-Request-Id") == "trace-abc-123"
+
+
+def test_hostile_request_id_is_replaced(server):
+    # Quotes, backslashes, and control characters would corrupt log lines
+    # and headers; the server mints a fresh id instead of echoing them.
+    _status, headers, _body = _get_raw(
+        server, "/healthz", headers={"X-Request-Id": '"\\'}
+    )
+    echoed = headers.get("X-Request-Id")
+    assert echoed
+    assert '"' not in echoed and "\\" not in echoed
+
+
+def test_error_responses_carry_request_id(server):
+    try:
+        _get_raw(server, "/nope", headers={"X-Request-Id": "err-1"})
+    except urllib.error.HTTPError as exc:
+        assert exc.headers.get("X-Request-Id") == "err-1"
+    else:  # pragma: no cover
+        raise AssertionError("expected a 404")
+
+
+# ----------------------------------------------------------------------
+# Content negotiation & fleet view
+# ----------------------------------------------------------------------
+def test_metrics_default_stays_json(server):
+    telemetry.enable()
+    _get(server, "/healthz")
+    status, document = _get(server, "/metrics")  # no Accept preference
+    assert status == 200
+    assert isinstance(document, dict)
+    assert "counters" in document
+
+
+def test_metrics_negotiates_prometheus_text(server):
+    from repro.telemetry import lint_exposition, parse_exposition
+
+    telemetry.enable()
+    _get(server, "/healthz")
+    _get(server, "/predict?app=alpha&other=beta")
+    status, headers, body = _get_raw(
+        server, "/metrics", headers={"Accept": "text/plain"}
+    )
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    text = body.decode("utf-8")
+    assert lint_exposition(text) == []
+    samples = parse_exposition(text)
+    assert samples['serving_requests_total{endpoint="/predict",status="200"}'] == 1
+    assert 'serving_request_seconds_count{endpoint="/predict"}' in samples
+
+
+def test_metrics_fleet_single_server_is_fleet_of_one(server):
+    telemetry.enable()
+    _get(server, "/predict?app=alpha&other=beta")
+    status, document = _get(server, "/metrics/fleet")
+    assert status == 200
+    assert document["shard_count"] == 1
+    assert document["shards"][0]["version"] == "unversioned"
+    counters = document["metrics"]["counters"]
+    assert any("serving.requests" in key for key in counters)
+
+
+def test_metrics_fleet_negotiates_prometheus_text(server):
+    from repro.telemetry import lint_exposition
+
+    telemetry.enable()
+    _get(server, "/predict?app=alpha&other=beta")
+    _status, headers, body = _get_raw(
+        server, "/metrics/fleet", headers={"Accept": "text/plain"}
+    )
+    assert headers["Content-Type"].startswith("text/plain")
+    assert lint_exposition(body.decode("utf-8")) == []

@@ -1,0 +1,181 @@
+"""Prometheus exposition: golden output, parser round-trip, and linter."""
+
+import math
+
+import pytest
+
+from repro.telemetry.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    lint_exposition,
+    parse_exposition,
+    render_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter_inc("serving.requests", 3, endpoint="/predict", status="200")
+    registry.counter_inc("serving.requests", 1, endpoint="/metrics", status="200")
+    registry.counter_inc("runner.tasks_completed", 7)
+    registry.gauge_set("serving.model_age_seconds", 12.5)
+    for value in (0.0, 0.5, 0.5, 3.0, 3.0, 3.0):
+        registry.observe("serving.request_seconds", value, endpoint="/predict")
+    return registry.snapshot()
+
+
+GOLDEN = """\
+# TYPE runner_tasks_completed_total counter
+runner_tasks_completed_total 7
+# TYPE serving_requests_total counter
+serving_requests_total{endpoint="/metrics",status="200"} 1
+serving_requests_total{endpoint="/predict",status="200"} 3
+# TYPE serving_model_age_seconds gauge
+serving_model_age_seconds 12.5
+# TYPE serving_request_seconds histogram
+serving_request_seconds_bucket{endpoint="/predict",le="0"} 1
+serving_request_seconds_bucket{endpoint="/predict",le="1"} 3
+serving_request_seconds_bucket{endpoint="/predict",le="4"} 6
+serving_request_seconds_bucket{endpoint="/predict",le="+Inf"} 6
+serving_request_seconds_sum{endpoint="/predict"} 10
+serving_request_seconds_count{endpoint="/predict"} 6
+"""
+
+
+def test_render_prometheus_matches_golden():
+    assert render_prometheus(_snapshot()) == GOLDEN
+
+
+def test_rendered_output_passes_the_linter():
+    assert lint_exposition(render_prometheus(_snapshot())) == []
+
+
+def test_content_type_names_the_text_format():
+    assert "text/plain" in PROMETHEUS_CONTENT_TYPE
+    assert "0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+def test_parse_exposition_round_trips_the_golden():
+    samples = parse_exposition(GOLDEN)
+    assert samples["runner_tasks_completed_total"] == 7
+    assert samples['serving_requests_total{endpoint="/predict",status="200"}'] == 3
+    assert samples["serving_model_age_seconds"] == 12.5
+    assert samples['serving_request_seconds_bucket{endpoint="/predict",le="+Inf"}'] == 6
+    assert samples['serving_request_seconds_sum{endpoint="/predict"}'] == 10
+
+
+def test_parse_exposition_sorts_labels():
+    text = 'm_total{b="2",a="1"} 4\n'
+    assert parse_exposition(text) == {'m_total{a="1",b="2"}': 4.0}
+
+
+def test_parse_exposition_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_exposition("not a metric line\n")
+
+
+def test_label_values_are_escaped():
+    hostile = 'sla\\sh "quote"\nnewline'
+    registry = MetricsRegistry()
+    registry.counter_inc("hits", path=hostile)
+    text = render_prometheus(registry.snapshot())
+    assert "\\\\" in text and '\\"' in text and "\\n" in text
+    assert lint_exposition(text) == []
+    samples = parse_exposition(text)
+    escaped = (
+        hostile.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+    assert samples[f'hits_total{{path="{escaped}"}}'] == 1
+
+
+def test_metric_names_are_sanitized():
+    registry = MetricsRegistry()
+    registry.counter_inc("weird.name-with/chars")
+    text = render_prometheus(registry.snapshot())
+    assert "weird_name_with_chars_total 1" in text
+    assert lint_exposition(text) == []
+
+
+def test_nonfinite_samples_land_only_in_inf_and_count():
+    registry = MetricsRegistry()
+    registry.observe("h", 1.0)
+    registry.observe("h", float("nan"))
+    registry.observe("h", float("inf"))
+    text = render_prometheus(registry.snapshot())
+    samples = parse_exposition(text)
+    # Finite bucket sees only the finite observation ...
+    assert samples['h_bucket{le="2"}'] == 1
+    # ... but +Inf and _count see all three, and _sum stays finite.
+    assert samples['h_bucket{le="+Inf"}'] == 3
+    assert samples["h_count"] == 3
+    assert samples["h_sum"] == 1.0
+    assert math.isfinite(samples["h_sum"])
+    assert lint_exposition(text) == []
+
+
+def test_empty_snapshot_renders_empty_document():
+    assert render_prometheus(MetricsRegistry().snapshot()) == ""
+    assert lint_exposition("") == []
+
+
+# ----------------------------------------------------------------------
+# Linter negative cases
+# ----------------------------------------------------------------------
+def test_lint_flags_sample_without_type():
+    problems = lint_exposition("orphan_total 1\n")
+    assert any("no preceding TYPE" in p for p in problems)
+
+
+def test_lint_flags_counter_not_named_total():
+    text = "# TYPE hits counter\nhits 1\n"
+    problems = lint_exposition(text)
+    assert any("not named *_total" in p for p in problems)
+
+
+def test_lint_flags_duplicate_type():
+    text = (
+        "# TYPE a_total counter\na_total 1\n"
+        "# TYPE a_total counter\na_total 2\n"
+    )
+    problems = lint_exposition(text)
+    assert any("duplicate TYPE" in p for p in problems)
+
+
+def test_lint_flags_non_monotonic_buckets():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\n'
+        'h_bucket{le="2"} 3\n'
+        'h_bucket{le="+Inf"} 5\n'
+        "h_sum 4\n"
+        "h_count 5\n"
+    )
+    problems = lint_exposition(text)
+    assert any("not non-decreasing" in p for p in problems)
+
+
+def test_lint_flags_missing_inf_bucket():
+    text = "# TYPE h histogram\n" 'h_bucket{le="1"} 5\n' "h_sum 4\nh_count 5\n"
+    problems = lint_exposition(text)
+    assert any("+Inf" in p for p in problems)
+
+
+def test_lint_flags_inf_bucket_count_mismatch():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="+Inf"} 4\n'
+        "h_sum 4\n"
+        "h_count 5\n"
+    )
+    problems = lint_exposition(text)
+    assert any("!= _count" in p for p in problems)
+
+
+def test_lint_flags_missing_trailing_newline():
+    problems = lint_exposition("# TYPE a_total counter\na_total 1")
+    assert any("newline" in p for p in problems)
+
+
+def test_lint_flags_malformed_sample_line():
+    problems = lint_exposition("# TYPE a_total counter\na_total one\n")
+    assert any("malformed sample" in p for p in problems)

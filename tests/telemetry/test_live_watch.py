@@ -1,0 +1,137 @@
+"""Live campaign watch: LiveReporter throttling, atomicity, and render_top."""
+
+import json
+
+from repro.telemetry.live import (
+    LIVE_REPORT_NAME,
+    LiveReporter,
+    load_live,
+    render_top,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+PROGRESS = {
+    "stage": "measurements",
+    "done": 3,
+    "total": 10,
+    "elapsed": 6.0,
+    "eta": 14.0,
+    "failed": 1,
+    "retried": 2,
+    "stages": [
+        {"stage": "calibration", "done": 1, "total": 1, "elapsed": 2.0},
+        {"stage": "measurements", "done": 2, "total": 9, "elapsed": 4.0},
+    ],
+}
+
+
+def test_first_publish_writes_and_throttle_suppresses(tmp_path):
+    reporter = LiveReporter(tmp_path / LIVE_REPORT_NAME, interval=60.0)
+    assert reporter.publish(PROGRESS) is True
+    assert reporter.publish(PROGRESS) is False  # inside the interval
+    assert reporter.publish(PROGRESS, force=True) is True
+    assert reporter.publish(PROGRESS, complete=True) is True  # complete bypasses
+
+
+def test_zero_interval_always_writes(tmp_path):
+    reporter = LiveReporter(tmp_path / LIVE_REPORT_NAME, interval=0.0)
+    assert reporter.publish(PROGRESS) is True
+    assert reporter.publish(PROGRESS) is True
+
+
+def test_published_document_shape(tmp_path):
+    path = tmp_path / LIVE_REPORT_NAME
+    registry = MetricsRegistry()
+    registry.counter_inc("runner.tasks_completed", 3)
+    LiveReporter(path, interval=0.0).publish(PROGRESS, registry.snapshot())
+    document = load_live(path)
+    assert document["complete"] is False
+    assert document["progress"]["done"] == 3
+    assert document["metrics"]["counters"]["runner.tasks_completed"] == 3
+    assert document["updated_at"] > 0
+
+
+def test_metrics_callable_only_invoked_on_write(tmp_path):
+    calls = []
+
+    def snapshot():
+        calls.append(1)
+        return MetricsRegistry().snapshot()
+
+    reporter = LiveReporter(tmp_path / LIVE_REPORT_NAME, interval=60.0)
+    reporter.publish(PROGRESS, snapshot)
+    reporter.publish(PROGRESS, snapshot)  # throttled: callable not evaluated
+    assert len(calls) == 1
+
+
+def test_complete_frame_is_marked(tmp_path):
+    path = tmp_path / LIVE_REPORT_NAME
+    reporter = LiveReporter(path, interval=60.0)
+    reporter.publish(PROGRESS)
+    reporter.publish(PROGRESS, complete=True)
+    assert load_live(path)["complete"] is True
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    reporter = LiveReporter(tmp_path / LIVE_REPORT_NAME, interval=0.0)
+    for _ in range(5):
+        reporter.publish(PROGRESS)
+    assert [p.name for p in tmp_path.iterdir()] == [LIVE_REPORT_NAME]
+
+
+def test_publish_survives_unwritable_path(tmp_path):
+    target = tmp_path / "file-not-dir"
+    target.write_text("occupied")
+    # Parent "directory" is a file: mkdir/mkstemp fail, publish returns False.
+    reporter = LiveReporter(target / LIVE_REPORT_NAME, interval=0.0)
+    assert reporter.publish(PROGRESS) is False
+
+
+def test_load_live_absent_and_torn(tmp_path):
+    assert load_live(tmp_path / "nope.json") is None
+    torn = tmp_path / "torn.json"
+    torn.write_text('{"version": 1, "progr')
+    assert load_live(torn) is None
+
+
+def test_render_top_shows_progress_and_metrics(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter_inc("runner.tasks_completed", 3)
+    registry.counter_inc("runner.failures", 1, category="timeout")
+    for value in (0.5, 1.5, 2.5, float("nan")):
+        registry.observe("runner.task_seconds", value)
+    path = tmp_path / LIVE_REPORT_NAME
+    LiveReporter(path, interval=0.0).publish(PROGRESS, registry.snapshot())
+    document = load_live(path)
+    frame = render_top(document, now=document["updated_at"] + 1.0)
+
+    assert "in flight" in frame
+    assert "stage measurements" in frame
+    assert "tasks 3/10 (30.0%)" in frame
+    assert "failures 1" in frame and "retries 2" in frame
+    assert "calibration" in frame
+    assert "runner.tasks_completed" in frame
+    assert "runner.task_seconds" in frame
+    assert "updated 1.0s ago" in frame
+    # Histogram mean excludes the NaN sample: (0.5+1.5+2.5)/3 = 1.5.
+    assert "1.5" in frame
+    assert frame.endswith("\n")
+
+
+def test_render_top_complete_banner():
+    frame = render_top(
+        {
+            "complete": True,
+            "updated_at": 100.0,
+            "progress": {"stage": "done", "done": 5, "total": 5, "elapsed": 2.0},
+            "metrics": {},
+        },
+        now=100.0,
+    )
+    assert "complete" in frame
+    assert "tasks 5/5" in frame
+
+
+def test_render_top_tolerates_minimal_document():
+    frame = render_top({}, now=0.0)
+    assert "repro top" in frame

@@ -1,0 +1,113 @@
+"""Structured JSON-lines logging: the REPRO_LOG knob and event records."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import logs
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    before = logs.target()
+    yield
+    logs.configure(before)
+    logs.set_request_id(None)
+
+
+def test_disabled_by_default_values():
+    for raw in (None, "", "0", "  "):
+        logs.configure(raw)
+        assert not logs.enabled()
+        assert logs.target() is None
+        logs.log_event("noop")  # must be a silent no-op
+
+
+def test_stderr_tokens_normalize():
+    for raw in ("stderr", "1", "-"):
+        logs.configure(raw)
+        assert logs.enabled()
+        assert logs.target() == "stderr"
+
+
+def test_file_target_appends_json_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    logs.configure(str(path))
+    logs.log_event("first", detail="a")
+    logs.log_event("second", value=2)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first["event"] == "first" and first["detail"] == "a"
+    assert second["event"] == "second" and second["value"] == 2
+    for record in (first, second):
+        assert isinstance(record["ts"], float)
+        assert isinstance(record["pid"], int)
+
+
+def test_request_id_attached_from_context(tmp_path):
+    path = tmp_path / "events.jsonl"
+    logs.configure(str(path))
+    logs.set_request_id("rid-42")
+    logs.log_event("tagged")
+    logs.set_request_id(None)
+    logs.log_event("untagged")
+    tagged, untagged = (json.loads(line) for line in path.read_text().splitlines())
+    assert tagged["request_id"] == "rid-42"
+    assert "request_id" not in untagged
+
+
+def test_explicit_request_id_wins_over_context(tmp_path):
+    path = tmp_path / "events.jsonl"
+    logs.configure(str(path))
+    logs.set_request_id("context")
+    logs.log_event("e", request_id="explicit")
+    record = json.loads(path.read_text())
+    assert record["request_id"] == "explicit"
+
+
+def test_request_id_is_per_thread(tmp_path):
+    path = tmp_path / "events.jsonl"
+    logs.configure(str(path))
+    logs.set_request_id("main-thread")
+
+    def worker():
+        # A fresh thread starts with no bound request id.
+        assert logs.current_request_id() is None
+        logs.set_request_id("worker-thread")
+        logs.log_event("from_worker")
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    logs.log_event("from_main")
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    by_event = {record["event"]: record for record in records}
+    assert by_event["from_worker"]["request_id"] == "worker-thread"
+    assert by_event["from_main"]["request_id"] == "main-thread"
+
+
+def test_non_json_values_are_stringified(tmp_path):
+    path = tmp_path / "events.jsonl"
+    logs.configure(str(path))
+    logs.log_event("odd", obj=object())
+    record = json.loads(path.read_text())
+    assert record["event"] == "odd"
+    assert isinstance(record["obj"], str)
+
+
+def test_configure_redirects_mid_run(tmp_path):
+    first = tmp_path / "a.jsonl"
+    second = tmp_path / "b.jsonl"
+    logs.configure(str(first))
+    logs.log_event("one")
+    logs.configure(str(second))
+    logs.log_event("two")
+    assert json.loads(first.read_text())["event"] == "one"
+    assert json.loads(second.read_text())["event"] == "two"
+
+
+def test_unwritable_sink_never_raises(tmp_path):
+    logs.configure(str(tmp_path / "missing" / "dir" / "events.jsonl"))
+    logs.log_event("lost")  # parent dir absent: swallowed, not raised

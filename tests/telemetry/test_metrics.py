@@ -102,3 +102,123 @@ def test_merge_snapshots_is_pure():
     merged = merge_snapshots(a, b)
     assert merged["counters"]["c"] == 3.0
     assert a["counters"]["c"] == 1.0 and b["counters"]["c"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# Key escaping round-trip
+# ----------------------------------------------------------------------
+def test_parse_key_inverts_serialize_key():
+    from repro.telemetry.metrics import parse_key
+
+    cases = [
+        ("m", {}),
+        ("m", {"k": "v"}),
+        ("m", {"a": "1", "b": "2"}),
+        ("serving.requests", {"endpoint": "/predict", "status": "200"}),
+    ]
+    for name, labels in cases:
+        assert parse_key(serialize_key(name, labels)) == (name, labels)
+
+
+def test_parse_key_round_trips_hostile_label_values():
+    from repro.telemetry.metrics import parse_key
+
+    hostile = {
+        "eq": "a=b",
+        "comma": "x,y",
+        "braces": "{inner}",
+        "backslash": "a\\b",
+        "newline": "line1\nline2",
+        "all": "=,{}\\\n",
+    }
+    key = serialize_key("m", hostile)
+    assert "\n" not in key  # keys stay single-line for exposition & logs
+    name, labels = parse_key(key)
+    assert name == "m"
+    assert labels == hostile
+
+
+def test_hostile_labels_stay_distinct_instruments():
+    registry = MetricsRegistry()
+    registry.counter_inc("c", k="a=b")
+    registry.counter_inc("c", **{"k": "a", "k2": "b"})
+    assert registry.counter_value("c", k="a=b") == 1.0
+    assert registry.counter_value("c", k="a", k2="b") == 1.0
+
+
+def test_parse_key_rejects_malformed_keys():
+    from repro.telemetry.metrics import parse_key
+
+    for bad in ("m{", "m{k=v", "m{k}", "m{k=v}trailing"):
+        with pytest.raises(ValueError):
+            parse_key(bad)
+
+
+# ----------------------------------------------------------------------
+# Non-finite observations
+# ----------------------------------------------------------------------
+def test_observe_nonfinite_lands_in_dedicated_bucket():
+    from repro.telemetry.metrics import NONFINITE_BUCKET
+
+    registry = MetricsRegistry()
+    registry.observe("h", 1.0)
+    registry.observe("h", float("nan"))
+    registry.observe("h", float("inf"))
+    registry.observe("h", float("-inf"))
+    state = registry.histogram_state("h")
+    assert state["count"] == 4
+    assert state["buckets"][NONFINITE_BUCKET] == 3
+    # Non-finite samples never poison sum or the extrema.
+    assert state["sum"] == 1.0
+    assert state["min"] == 1.0
+    assert state["max"] == 1.0
+
+
+def test_nonfinite_only_histogram_has_finite_sum():
+    registry = MetricsRegistry()
+    registry.observe("h", float("nan"))
+    state = registry.histogram_state("h")
+    assert state["count"] == 1
+    assert state["sum"] == 0.0
+    assert state["min"] is None and state["max"] is None
+
+
+def test_merge_snapshots_preserves_nonfinite_bucket():
+    from repro.telemetry.metrics import NONFINITE_BUCKET
+
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.observe("h", float("inf"))
+    left.observe("h", 2.0)
+    right.observe("h", float("nan"))
+    merged = merge_snapshots(left.snapshot(), right.snapshot())
+    state = merged["histograms"]["h"]
+    assert state["count"] == 3
+    assert state["buckets"][NONFINITE_BUCKET] == 2
+    assert state["sum"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# Percentile estimation
+# ----------------------------------------------------------------------
+def test_histogram_percentile_walks_bucket_edges():
+    from repro.telemetry.metrics import histogram_percentile
+
+    registry = MetricsRegistry()
+    for value in (0.0, 0.5, 0.5, 3.0, 3.0, 3.0):
+        registry.observe("h", value)
+    state = registry.histogram_state("h")
+    assert histogram_percentile(state, 0.01) == 0.0  # zero bucket
+    assert histogram_percentile(state, 0.5) == 1.0  # upper edge of [0.5, 1)
+    assert histogram_percentile(state, 0.99) == 3.0  # capped at observed max
+
+
+def test_histogram_percentile_ignores_nonfinite_and_handles_empty():
+    from repro.telemetry.metrics import histogram_percentile
+
+    registry = MetricsRegistry()
+    registry.observe("h", 1.0)
+    registry.observe("h", float("inf"))
+    state = registry.histogram_state("h")
+    assert histogram_percentile(state, 0.99) == 1.0
+    assert histogram_percentile({"count": 0, "buckets": {}}, 0.5) is None
