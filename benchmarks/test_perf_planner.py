@@ -1,0 +1,109 @@
+"""Adaptive-planner benchmark (``BENCH_planner.json``).
+
+ISSUE 10's tentpole claim: an adaptive, measurement-budgeted campaign can
+match the exhaustive paper campaign's prediction quality while executing
+roughly half the experiments.  The benchmark runs both on the paper-sized
+catalog (6 applications × 40 compression configurations, 330 products)
+against the analytic engine, from cold caches:
+
+* **full** — ``ensure_all`` over every product, then the Queue model's
+  mean |measured − predicted| over all 36 ordered application pairs.
+* **planned** — a :class:`PlannedCampaign` with the uncertainty strategy,
+  four adaptive rounds, nine holdout pairs per round (so the holdout
+  converges to the same 36 pairs the full campaign scores).
+
+The assertions pin the acceptance criterion: the planned campaign's final
+holdout error within 2 percentage points of the full campaign's, having
+executed at most 50% of the products.
+"""
+
+import json
+import statistics
+import time
+
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.planner import PlannedCampaign, get_planner
+
+ERROR_TOLERANCE = 2.0  # percentage points of mean predicted-slowdown error
+EXECUTION_CEILING = 0.5  # fraction of the exhaustive campaign's products
+
+
+def _pipeline(cache_path):
+    return ReproductionPipeline(
+        settings=PipelineSettings(profile="paper", engine="analytic", seed=0),
+        cache_path=cache_path,
+    )
+
+
+def test_perf_planner_matches_full_campaign_at_half_cost(
+    tmp_path, artifact_dir
+):
+    full = _pipeline(tmp_path / "full")
+    start = time.perf_counter()
+    full_stats = full.ensure_all(workers=2)
+    full_elapsed = time.perf_counter() - start
+    full_error = statistics.fmean(full.prediction_errors()["Queue"].values())
+
+    planned_pipeline = _pipeline(tmp_path / "planned")
+    campaign = PlannedCampaign(
+        planned_pipeline,
+        get_planner("uncertainty"),
+        max_rounds=4,
+        holdout_per_round=9,
+        workers=2,
+    )
+    start = time.perf_counter()
+    result = campaign.run()
+    planned_elapsed = time.perf_counter() - start
+
+    total = result.total_products
+    fraction = result.executed / total
+    gap = abs(result.final_error - full_error)
+
+    payload = {
+        "catalog": {
+            "applications": len(full.app_names),
+            "configs": len(full.catalog),
+            "products": total,
+        },
+        "full": {
+            "executed": full_stats["executed"],
+            "queue_mean_error": full_error,
+            "wall_seconds": round(full_elapsed, 3),
+        },
+        "planned": {
+            "planner": result.planner,
+            "executed": result.executed,
+            "cached": result.cached,
+            "skipped": result.skipped,
+            "rounds": len(result.rounds),
+            "stop_reason": result.stop_reason,
+            "holdout_errors": result.holdout_errors,
+            "queue_mean_error": result.final_error,
+            "budget_spent": result.budget_spent,
+            "budget_refunded": result.budget_refunded,
+            "wall_seconds": round(planned_elapsed, 3),
+        },
+        "executed_fraction": round(fraction, 4),
+        "error_gap": round(gap, 4),
+        "tolerance": ERROR_TOLERANCE,
+        "execution_ceiling": EXECUTION_CEILING,
+    }
+    path = artifact_dir / "BENCH_planner.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nfull: {full_error:.2f}% mean error over {full_stats['executed']} "
+        f"products · planned: {result.final_error:.2f}% over "
+        f"{result.executed} ({fraction:.0%}) · gap {gap:.2f} points"
+        f"\n[artifact saved to {path}]"
+    )
+
+    assert result.final_error is not None
+    assert fraction <= EXECUTION_CEILING, (
+        f"planner executed {result.executed}/{total} products "
+        f"({fraction:.0%}), above the {EXECUTION_CEILING:.0%} ceiling"
+    )
+    assert gap <= ERROR_TOLERANCE, (
+        f"planned campaign error {result.final_error:.2f} is "
+        f"{gap:.2f} points from the full campaign's {full_error:.2f}"
+    )

@@ -2,10 +2,17 @@
 
 The paper overlays each application's (utilization, degradation) points with
 "the best linear approximation to highlight the overall trend".
+
+Beyond the point estimates, :func:`fit_degradation_trend` reports the fit's
+*uncertainty* — the standard error of the slope and of the fitted mean at
+any utilization — which is what the adaptive planner's uncertainty strategy
+(:mod:`repro.planner`) refines: the next degradation experiments go where
+the confidence band around the trend line is widest.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -15,17 +22,59 @@ from ..errors import ExperimentError
 
 __all__ = ["LinearFit", "fit_degradation_trend", "sensitivity_ranking"]
 
+#: Residual sum-of-squares below this (relative to the response's scale) is
+#: treated as an exact fit when the y-variance denominator degenerates.
+_EXACT_FIT_TOL = 1e-12
+
 
 @dataclass(frozen=True)
 class LinearFit:
-    """y = slope·x + intercept with goodness of fit."""
+    """y = slope·x + intercept with goodness of fit and uncertainty.
+
+    Attributes:
+        slope / intercept: the least-squares line.
+        r_squared: coefficient of determination.  When the response has no
+            variance (flat curve) it is 1.0 only if the residuals are ~0 —
+            a flat line fitted exactly — and 0.0 otherwise (the "fit"
+            explains nothing).
+        slope_stderr: standard error of the slope estimate; ``inf`` when
+            the fit has no residual degrees of freedom (n ≤ 2), i.e. the
+            uncertainty is unknowable from the data.
+        residual_var: unbiased residual variance s² = SSR/(n−2)
+            (``inf`` when n ≤ 2, 0.0 for an exact fit).
+        x_mean / x_sxx: first/second moments of the regressor
+            (Sxx = Σ(x−x̄)²), retained so prediction-uncertainty queries
+            need no access to the original points.
+        n: number of fitted points.
+    """
 
     slope: float
     intercept: float
     r_squared: float
+    slope_stderr: float = math.inf
+    residual_var: float = math.inf
+    x_mean: float = 0.0
+    x_sxx: float = 0.0
+    n: int = 0
 
     def predict(self, x: float) -> float:
         return self.slope * x + self.intercept
+
+    def predict_stderr(self, x: float) -> float:
+        """Standard error of the fitted *mean* at ``x``.
+
+        The classic OLS band: s·√(1/n + (x−x̄)²/Sxx).  Widest far from the
+        measured mass — exactly the signal the uncertainty planner selects
+        on.  Returns ``inf`` when the fit has no residual degrees of
+        freedom (n ≤ 2): with nothing to estimate noise from, every
+        location is maximally uncertain.
+        """
+        if not math.isfinite(self.residual_var):
+            return math.inf
+        if self.n <= 0 or self.x_sxx <= 0:
+            return math.inf
+        leverage = 1.0 / self.n + (x - self.x_mean) ** 2 / self.x_sxx
+        return math.sqrt(self.residual_var * leverage)
 
 
 def fit_degradation_trend(
@@ -45,9 +94,37 @@ def fit_degradation_trend(
     slope, intercept = np.polyfit(xs, ys, 1)
     residuals = ys - (slope * xs + intercept)
     total = ys - ys.mean()
-    denominator = float(np.dot(total, total))
-    r_squared = 1.0 - float(np.dot(residuals, residuals)) / denominator if denominator > 0 else 1.0
-    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+    ss_res = float(np.dot(residuals, residuals))
+    ss_tot = float(np.dot(total, total))
+    if ss_tot > 0:
+        r_squared = 1.0 - ss_res / ss_tot
+    else:
+        # Flat response: r² = 1 is only honest if the line actually passes
+        # through the points; a non-zero residual on a zero-variance curve
+        # explains nothing.
+        scale = max(1.0, float(np.dot(ys, ys)))
+        r_squared = 1.0 if ss_res <= _EXACT_FIT_TOL * scale else 0.0
+    n = len(points)
+    x_mean = float(xs.mean())
+    x_sxx = float(np.dot(xs - x_mean, xs - x_mean))
+    if n > 2:
+        residual_var = ss_res / (n - 2)
+        slope_stderr = math.sqrt(residual_var / x_sxx)
+    else:
+        # Two points fit exactly: zero residuals, zero degrees of freedom —
+        # the data carries no information about its own noise.
+        residual_var = math.inf
+        slope_stderr = math.inf
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=r_squared,
+        slope_stderr=slope_stderr,
+        residual_var=residual_var,
+        x_mean=x_mean,
+        x_sxx=x_sxx,
+        n=n,
+    )
 
 
 def sensitivity_ranking(
@@ -57,8 +134,21 @@ def sensitivity_ranking(
 
     This is Fig. 7's qualitative content: FFTW/VPFFT steep, MILC moderate,
     Lulesh shallow, MCB/AMG flat.
+
+    Order-independent (a repo invariant since PR 5): equal slopes break
+    ties by application name, never by dict insertion order, and a
+    non-finite slope raises instead of floating to an arbitrary position.
+
+    Raises:
+        ExperimentError: an application's trend slope is NaN or infinite.
     """
-    slopes = [
-        (name, fit_degradation_trend(points).slope) for name, points in curves.items()
-    ]
-    return sorted(slopes, key=lambda pair: pair[1], reverse=True)
+    slopes = []
+    for name in sorted(curves):
+        slope = fit_degradation_trend(curves[name]).slope
+        if not math.isfinite(slope):
+            raise ExperimentError(
+                f"non-finite degradation-trend slope for app {name!r}; "
+                "its curve cannot be ranked"
+            )
+        slopes.append((name, slope))
+    return sorted(slopes, key=lambda pair: (-pair[1], pair[0]))

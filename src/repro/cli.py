@@ -243,8 +243,66 @@ def build_parser() -> argparse.ArgumentParser:
     def command(name, help_text):
         return sub.add_parser(name, help=help_text, parents=[common])
 
+    def add_planner_arguments(cmd, *, include_plan_out: bool) -> None:
+        cmd.add_argument(
+            "--planner",
+            choices=("greedy", "uncertainty"),
+            default=None,
+            help="run an adaptive planned campaign instead of the exhaustive "
+            "one: 'uncertainty' refines where the degradation trend's "
+            "confidence band is widest, 'greedy' maximizes utilization "
+            "coverage per estimated cost",
+        )
+        cmd.add_argument(
+            "--measurement-budget",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="estimated simulated experiment-seconds the planned campaign "
+            "may spend (cached products are free; unsupported refusals are "
+            "refunded; default: unbudgeted, stop on error stability)",
+        )
+        cmd.add_argument(
+            "--max-rounds",
+            type=int,
+            default=8,
+            help="adaptive planning rounds after the bootstrap (default 8)",
+        )
+        cmd.add_argument(
+            "--labels-per-round",
+            type=int,
+            default=2,
+            help="CompressionB configs whose degradation rows each round "
+            "completes (default 2)",
+        )
+        cmd.add_argument(
+            "--cost-from",
+            metavar="FILE",
+            default=None,
+            help="calibrate per-kind cost estimates from a previous "
+            "campaign's telemetry.json (deterministic given the file; "
+            "default: estimates derived from the campaign durations)",
+        )
+        if include_plan_out:
+            cmd.add_argument(
+                "--plan-out",
+                metavar="FILE",
+                default=None,
+                help="write the deterministic plan trace (rounds, selections, "
+                "budget accounting, holdout errors) as JSON",
+            )
+
     command("calibrate", "idle-switch service estimate (µ, Var(S))")
-    command("campaign", "run every pending experiment of the evaluation")
+    campaign_cmd = command(
+        "campaign", "run every pending experiment of the evaluation"
+    )
+    add_planner_arguments(campaign_cmd, include_plan_out=True)
+    plan_cmd = command(
+        "plan",
+        "preview a planned campaign: per-kind cost estimates, the bootstrap "
+        "sweep, and what a measurement budget would admit (no experiments run)",
+    )
+    add_planner_arguments(plan_cmd, include_plan_out=False)
     command(
         "engines",
         "list registered experiment engines and their declared capabilities",
@@ -818,6 +876,118 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(json.dumps(catalog, indent=2, sort_keys=True))
         else:
             print(render_engine_catalog(catalog))
+        return 0
+
+    if args.command == "campaign" and getattr(args, "planner", None):
+        from .planner import CostModel, PlannedCampaign, get_planner
+
+        cost_model = (
+            CostModel.from_telemetry_report(args.cost_from, pipeline.settings)
+            if args.cost_from
+            else None
+        )
+        campaign = PlannedCampaign(
+            pipeline,
+            get_planner(args.planner, labels_per_round=args.labels_per_round),
+            measurement_budget=args.measurement_budget,
+            max_rounds=args.max_rounds,
+            cost_model=cost_model,
+        )
+        result = campaign.run()
+        final = result.final_error
+        print(
+            f"planned campaign ({args.planner}) done: {result.executed} "
+            f"executed, {result.cached} cached, {result.skipped} skipped, "
+            f"{result.failed} failed of {result.total_products} total "
+            f"products in {len(result.rounds)} round(s) "
+            f"({result.stop_reason}); "
+            f"budget spent {result.budget_spent:.3f}s"
+            + (f" of {result.budget:.3f}s" if result.budget is not None else "")
+            + (
+                f"; holdout error {final:.2f} points"
+                if final is not None
+                else "; no holdout error available"
+            )
+            + f"; cache at {pipeline.cache_path}",
+            file=human,
+        )
+        if args.plan_out:
+            Path(args.plan_out).write_text(
+                json.dumps(result.trace_document(), indent=2, sort_keys=True)
+                + "\n"
+            )
+            print(f"plan trace written to {args.plan_out}", file=human)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        # Mirror the exhaustive campaign's exit semantics: refusals are
+        # documented limits, infrastructure holes are failures.
+        if result.failed > result.unsupported:
+            return 2
+        return 0
+
+    if args.command == "plan":
+        from .planner import CostModel
+
+        cost_model = (
+            CostModel.from_telemetry_report(args.cost_from, pipeline.settings)
+            if args.cost_from
+            else CostModel.from_settings(pipeline.settings)
+        )
+        raw_keys = [
+            key.rsplit(":", 1)[-1] for key in pipeline.product_keys()
+        ]
+        pending = [raw for raw in raw_keys if not pipeline.has_product(raw)]
+        budget = args.measurement_budget
+        by_kind: dict = {}
+        for raw in pending:
+            kind = raw.split("/", 1)[0]
+            entry = by_kind.setdefault(
+                kind, {"count": 0, "unit_cost": cost_model.cost_of(raw), "cost": 0.0}
+            )
+            entry["count"] += 1
+            entry["cost"] += cost_model.cost_of(raw)
+        total_cost = sum(entry["cost"] for entry in by_kind.values())
+        admitted = len(pending)
+        if budget is not None:
+            spent = 0.0
+            admitted = 0
+            for raw in pending:
+                cost = cost_model.cost_of(raw)
+                if spent + cost <= budget + 1e-9:
+                    spent += cost
+                    admitted += 1
+        document = {
+            "planner": args.planner or "uncertainty",
+            "cost_model": cost_model.to_dict(),
+            "total_products": len(raw_keys),
+            "cached": len(raw_keys) - len(pending),
+            "pending": len(pending),
+            "estimated_cost": total_cost,
+            "budget": budget,
+            "budget_admits": admitted,
+            "by_kind": by_kind,
+        }
+        if args.json:
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(
+                f"plan preview (cost estimates from {cost_model.source}): "
+                f"{len(pending)} pending of {len(raw_keys)} products, "
+                f"estimated {total_cost:.3f} experiment-seconds"
+            )
+            for kind in sorted(by_kind):
+                entry = by_kind[kind]
+                print(
+                    f"  {kind:12s} {entry['count']:4d} × "
+                    f"{entry['unit_cost']:.4f}s = {entry['cost']:.3f}s"
+                )
+            if budget is not None:
+                print(
+                    f"  a budget of {budget:.3f}s admits {admitted} of "
+                    f"{len(pending)} pending experiments up front "
+                    "(an adaptive campaign re-plans each round, so its "
+                    "selection will differ)"
+                )
         return 0
 
     if args.command == "campaign":

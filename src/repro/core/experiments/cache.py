@@ -227,7 +227,11 @@ class ShardedCache:
         handle, temp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
             with os.fdopen(handle, "w") as stream:
-                json.dump(document, stream)
+                # sort_keys matches the checksum text above and, more
+                # importantly, makes the shard *byte*-deterministic: results
+                # land in completion order, which varies with worker count,
+                # but the file on disk must not.
+                json.dump(document, stream, sort_keys=True)
             os.replace(temp_name, self.shard_path(group))
         except BaseException:
             if os.path.exists(temp_name):  # pragma: no cover - cleanup path

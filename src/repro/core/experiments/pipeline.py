@@ -213,17 +213,35 @@ class _CampaignProgress:
             entry["elapsed"] = time.time() - self._stage_start
         self.publish(force=True)
 
+    def eta(self) -> Optional[float]:
+        """Seconds until campaign completion, from the *current stage's* rate.
+
+        Campaign stages have wildly different per-product costs (a
+        calibration vs. a pairwise co-run), so the cumulative campaign rate
+        systematically lies across a stage boundary — after a fast
+        measurement stage it promises the slow pairwise stage will finish
+        at measurement speed.  The stage's own throughput is the honest
+        estimator; the global rate is only used before the current stage
+        has completed anything, and before any completion there is no
+        estimate at all.
+        """
+        now = time.time()
+        remaining = self.total - self.done
+        stage_done = self.done - self._stage_done0
+        if stage_done > 0:
+            return ((now - self._stage_start) / stage_done) * remaining
+        if self.done > 0:
+            return ((now - self.start) / self.done) * remaining
+        return None
+
     def progress_document(self) -> Dict[str, object]:
         elapsed = time.time() - self.start
-        eta = (
-            (elapsed / self.done) * (self.total - self.done) if self.done else None
-        )
         return {
             "stage": self.stage,
             "done": self.done,
             "total": self.total,
             "elapsed": elapsed,
-            "eta": eta,
+            "eta": self.eta(),
             "failed": self.failed,
             "retried": self.retried,
             "stages": [dict(entry) for entry in self.stages],
@@ -248,12 +266,13 @@ class _CampaignProgress:
         if not self.verbose:
             return
         elapsed = time.time() - self.start
-        remaining = (elapsed / self.done) * (self.total - self.done)
+        remaining = self.eta()
+        eta_text = f"{remaining:.1f}s" if remaining is not None else "?"
         # Progress/ETA is diagnostics, not output: stderr keeps stdout clean
         # for machine-readable results (`repro campaign --json | ...`).
         print(
             f"[pipeline] {self.done}/{self.total} {key} · "
-            f"elapsed {elapsed:.1f}s · eta {remaining:.1f}s",
+            f"elapsed {elapsed:.1f}s · eta {eta_text}",
             flush=True,
             file=sys.stderr,
         )
@@ -431,6 +450,53 @@ class ReproductionPipeline:
     def pending_keys(self) -> List[str]:
         """Products not yet present in the cache (what a resume would run)."""
         return [key for key in self.product_keys() if key not in self._cache]
+
+    def has_product(self, raw: str) -> bool:
+        """Whether one raw (unqualified) product key is already cached."""
+        return self._key(raw) in self._cache
+
+    def product(self, raw: str) -> object:
+        """The cached value of one raw product key (raises if absent)."""
+        key = self._key(raw)
+        if key not in self._cache:
+            raise ExperimentError(f"product {raw!r} is not in the cache")
+        return self._cache[key]
+
+    def descriptor_for(self, raw: str) -> ExperimentDescriptor:
+        """Build the descriptor of one raw product key — the planner seam.
+
+        Accepts the same unqualified key grammar :meth:`product_keys` emits
+        (``calibration``, ``impact/<app>|idle``, ``comp_sig/<label>``,
+        ``baseline/<app>``, ``degradation/<app>/<label>``,
+        ``pair/<app>/<app>``); engine/scenario qualification happens inside
+        the descriptor builders.  CompressionB labels contain no ``/``, so
+        splitting on it is unambiguous.
+
+        Raises:
+            ExperimentError: unknown key shape, application, or catalog
+                label.
+        """
+        parts = raw.split("/")
+        kind = parts[0]
+        if raw == "calibration":
+            return self._calibration_descriptor()
+        if kind == "impact" and len(parts) == 2:
+            return self._impact_descriptor(None if parts[1] == "idle" else parts[1])
+        if kind == "comp_sig" and len(parts) == 2:
+            return self._comp_sig_descriptor(self._config(parts[1]))
+        if kind == "baseline" and len(parts) == 2:
+            return self._baseline_descriptor(parts[1])
+        if kind == "degradation" and len(parts) == 3:
+            return self._degradation_descriptor(parts[1], self._config(parts[2]))
+        if kind == "pair" and len(parts) == 3:
+            return self._pair_descriptor(parts[1], parts[2])
+        raise ExperimentError(f"unrecognized product key {raw!r}")
+
+    def _config(self, label: str) -> CompressionConfig:
+        for config in self.catalog:
+            if config.label == label:
+                return config
+        raise ExperimentError(f"unknown CompressionB label {label!r}")
 
     # ------------------------------------------------------------------
     # Descriptor builders
@@ -855,6 +921,198 @@ class ReproductionPipeline:
             "telemetry_report": str(telemetry_path) if telemetry_path else None,
         }
 
+    def ensure_products(
+        self,
+        raw_keys: Sequence[str],
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        costs: Optional[Sequence[float]] = None,
+        budget: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Run (or load) an explicit subset of products — the planner seam.
+
+        The adaptive planner's counterpart to :meth:`ensure_all`: instead
+        of the full evaluation, exactly the requested raw keys are
+        produced, in the same two dependency stages (calibration first,
+        then impacts/signatures/baselines, then degradations/pairs), with
+        the same fault-tolerant runner, sharded cache, and ``unsupported``
+        semantics.
+
+        Budget semantics (estimated experiment-seconds):
+
+        * already-cached products cost *zero* — they are loaded, never
+          charged, so a resumed planned campaign spends its budget only on
+          new measurements;
+        * admission is decided up front per stage from the estimates
+          (deterministic in key order, whatever the worker count); keys
+          that don't fit land in ``skipped``;
+        * a deterministic model refusal (``unsupported``) refunds its
+          cost: a refusal is knowledge about the model's domain, not a
+          spent experiment, and the refund is available to the *next*
+          stage (and the planner's next round);
+        * dependents whose baseline is missing after stage one become
+          ``dependency``/``unsupported`` holes without being charged.
+
+        Args:
+            raw_keys: unqualified product keys (see :meth:`descriptor_for`);
+                duplicates are collapsed, first occurrence wins.
+            workers / chunksize: as :meth:`ensure_all`.
+            costs: estimated cost per entry of ``raw_keys`` (default: all
+                zero, i.e. unbudgeted).
+            budget: admission ceiling over ``costs`` for this call.
+
+        Returns:
+            Stats: requested/cached/executed/failed/unsupported counts,
+            skipped (qualified) keys, ``budget_spent``/``budget_refunded``,
+            retries, elapsed seconds, and the failure records as dicts.
+        """
+        count = workers if workers is not None else self.workers
+        if count is None:
+            count = default_worker_count()
+        chunk = chunksize if chunksize is not None else self.chunksize
+        if costs is not None and len(costs) != len(raw_keys):
+            raise ExperimentError(
+                f"costs/raw_keys length mismatch: {len(costs)} != {len(raw_keys)}"
+            )
+
+        cost_of: Dict[str, float] = {}
+        ordered: List[str] = []
+        for index, raw in enumerate(raw_keys):
+            if raw in cost_of:
+                continue
+            cost_of[raw] = float(costs[index]) if costs is not None else 0.0
+            ordered.append(raw)
+
+        start = time.time()
+        cached = [raw for raw in ordered if self.has_product(raw)]
+        for _ in cached:
+            self._note_cache_hit()
+        pending = [raw for raw in ordered if not self.has_product(raw)]
+        stage_one_kinds = ("calibration", "impact", "comp_sig", "baseline")
+        stage_one = [r for r in pending if r.split("/")[0] in stage_one_kinds]
+        stage_two = [r for r in pending if r.split("/")[0] not in stage_one_kinds]
+        # Calibration gates everything: pull it to the front of stage one so
+        # the impact/comp_sig descriptor builders find it in the cache
+        # rather than computing it serially behind the budget's back.
+        stage_one.sort(key=lambda raw: raw != "calibration")
+
+        progress = _CampaignProgress(len(pending), self.verbose)
+        failures: List[FailureRecord] = []
+        transients: List[FailureRecord] = []
+        skipped: List[str] = []
+        budget_spent = 0.0
+        budget_refunded = 0.0
+        remaining = budget
+
+        def run_round(name: str, raws: List[str], stage_workers: int) -> None:
+            nonlocal budget_spent, budget_refunded, remaining
+            if not raws:
+                return
+            descriptors = [self.descriptor_for(raw) for raw in raws]
+            stage_costs = [cost_of[raw] for raw in raws]
+            progress.begin_stage(name, len(descriptors))
+            with telemetry.span(
+                f"subset:{name}", "pipeline", engine=self.settings.engine
+            ):
+                report = self._run_stage(
+                    descriptors,
+                    stage_workers,
+                    chunk,
+                    progress,
+                    failures,
+                    transients,
+                    costs=stage_costs,
+                    budget=remaining,
+                )
+            progress.end_stage(len(failures), len(transients))
+            if report is not None:
+                skipped.extend(report.skipped)
+                budget_spent += report.budget_spent
+                budget_refunded += report.budget_refunded
+                if remaining is not None:
+                    remaining = max(0.0, remaining - report.budget_spent)
+
+        # Calibration runs alone (single worker, everything depends on it)
+        # when requested and uncached; the rest of stage one fans out.
+        calibration_attempted = bool(stage_one) and stage_one[0] == "calibration"
+        if calibration_attempted:
+            run_round("calibration", [stage_one.pop(0)], 1)
+        if calibration_attempted and not self.has_product("calibration"):
+            # Calibration was asked for and didn't land: impacts/signatures
+            # can't build their descriptors without serially recomputing it
+            # behind the budget's back.  A budget-skipped calibration skips
+            # its dependents (uncharged); a failed one holes them.
+            cal_skipped = self._key("calibration") in skipped
+            cal_refused = any(
+                record.category == "unsupported" for record in failures
+            )
+            survivors = []
+            for raw in stage_one:
+                if raw.split("/")[0] not in ("impact", "comp_sig"):
+                    survivors.append(raw)
+                elif cal_skipped:
+                    skipped.append(self._key(raw))
+                else:
+                    failures.append(
+                        FailureRecord(
+                            key=self._key(raw),
+                            category="unsupported" if cal_refused else "dependency",
+                            message="calibration unavailable (failed upstream)",
+                            attempts=0,
+                            kind=raw.split("/")[0],
+                        )
+                    )
+            stage_one = survivors
+        run_round("measurements", stage_one, count)
+
+        # Stage two only builds descriptors whose baseline actually landed,
+        # mirroring ensure_all's dependency-hole semantics.
+        refused = {
+            record.key for record in failures if record.category == "unsupported"
+        }
+        runnable: List[str] = []
+        for raw in stage_two:
+            parts = raw.split("/")
+            app = parts[1]
+            baseline_key = self._key(f"baseline/{app}")
+            if baseline_key in self._cache:
+                runnable.append(raw)
+            elif baseline_key in skipped:
+                skipped.append(self._key(raw))
+            else:
+                failures.append(
+                    self._dependency_record(
+                        self._key(raw),
+                        parts[0],
+                        app,
+                        unsupported=baseline_key in refused,
+                    )
+                )
+        run_round("dependents", runnable, count)
+
+        elapsed = time.time() - start
+        unsupported = sum(
+            1 for record in failures if record.category == "unsupported"
+        )
+        executed = len(pending) - len(failures) - len(skipped)
+        if telemetry.enabled():
+            registry = telemetry.registry()
+            registry.counter_inc("pipeline.subset_requested", float(len(ordered)))
+            registry.counter_inc("pipeline.subset_executed", float(max(executed, 0)))
+        return {
+            "requested": len(ordered),
+            "cached": len(cached),
+            "executed": executed,
+            "failed": len(failures),
+            "unsupported": unsupported,
+            "retried": len(transients),
+            "skipped": list(skipped),
+            "budget_spent": budget_spent,
+            "budget_refunded": budget_refunded,
+            "elapsed": elapsed,
+            "failure_records": [record.to_dict() for record in failures],
+        }
+
     def _campaign_meta(
         self,
         workers: int,
@@ -934,6 +1192,8 @@ class ReproductionPipeline:
         progress: _CampaignProgress,
         failures: List[FailureRecord],
         transients: List[FailureRecord],
+        costs: Optional[Sequence[float]] = None,
+        budget: Optional[float] = None,
     ):
         if not descriptors:
             return None
@@ -951,6 +1211,8 @@ class ReproductionPipeline:
             chunksize=chunksize,
             policy=self.retry,
             on_result=land,
+            costs=costs,
+            budget=budget,
         )
         for record in report.failures:
             record.kind = by_key[record.key].kind

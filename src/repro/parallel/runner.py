@@ -137,19 +137,29 @@ class RunReport:
 
     Attributes:
         results: per-item results in item order; ``None`` where the task
-            failed permanently (check ``failures`` to distinguish a ``None``
-            result from a hole).
+            failed permanently or was skipped for budget (check ``failures``
+            / ``skipped`` to distinguish a ``None`` result from a hole).
         failures: terminal :class:`~repro.errors.FailureRecord` s.
         transients: attempt-level failures that were later retried
             (successfully or not) — the observability trail of the retry
             machinery.
         pool_respawns: times the process pool was rebuilt.
+        skipped: keys of tasks never scheduled because their estimated cost
+            did not fit the remaining measurement budget (in item order).
+        budget_spent: estimated cost charged against the budget — admitted
+            tasks' costs minus any refunds.
+        budget_refunded: cost given back for tasks that turned out to be
+            deterministic model refusals (``unsupported``): a refusal is
+            free knowledge, not a spent experiment.
     """
 
     results: List[Optional[object]] = field(default_factory=list)
     failures: List[FailureRecord] = field(default_factory=list)
     transients: List[FailureRecord] = field(default_factory=list)
     pool_respawns: int = 0
+    skipped: List[str] = field(default_factory=list)
+    budget_spent: float = 0.0
+    budget_refunded: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -271,6 +281,7 @@ class _Task:
     item: object
     attempt: int = 1
     started: float = 0.0
+    cost: float = 0.0
 
 
 class _Scheduler:
@@ -284,6 +295,7 @@ class _Scheduler:
         chunksize: int,
         policy: RetryPolicy,
         on_result: Optional[Callable[[int, str, object], None]],
+        report: Optional[RunReport] = None,
     ) -> None:
         self.function = function
         self.tasks = {task.index: task for task in tasks}
@@ -291,7 +303,7 @@ class _Scheduler:
         self.chunksize = chunksize
         self.policy = policy
         self.on_result = on_result
-        self.report = RunReport(results=[None] * len(tasks))
+        self.report = report if report is not None else RunReport(results=[None] * len(tasks))
         # ready: chunks runnable now; waiting: (ready_at, chunk) backoff queue.
         self.ready: deque = deque()
         self.waiting: List[Tuple[float, List[_Task]]] = []
@@ -354,6 +366,8 @@ class _Scheduler:
         )
         if task.attempt >= self.policy.max_attempts or category == "unsupported":
             self.report.failures.append(record)
+            if category == "unsupported":
+                _refund_cost(self.report, task)
             _record_attempt_failure(
                 task.key, category, terminal=True, attempt=task.attempt, message=message
             )
@@ -561,13 +575,53 @@ class _Scheduler:
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
+def _refund_cost(report: RunReport, task: _Task) -> None:
+    """Give a deterministic refusal's estimated cost back to the budget."""
+    if task.cost <= 0:
+        return
+    report.budget_spent -= task.cost
+    report.budget_refunded += task.cost
+    if telemetry.enabled():
+        telemetry.registry().counter_inc("runner.budget_refunded", task.cost)
+
+
+def _admit_for_budget(
+    tasks: List[_Task], budget: Optional[float], report: RunReport
+) -> List[_Task]:
+    """Budget admission control: the scheduling half of the planner seam.
+
+    Tasks are admitted in item order while their estimated cost still fits
+    the remaining budget; a task that does not fit is recorded in
+    ``report.skipped`` (later, cheaper tasks may still be admitted).  The
+    decision is made once, up front, from the deterministic cost estimates
+    — never from wall-clock measurements or completion order — so the same
+    items, costs, and budget always admit the same subset, whatever the
+    worker count.  With ``budget=None`` every task is admitted and
+    ``budget_spent`` simply accumulates the estimated costs.
+    """
+    admitted: List[_Task] = []
+    for task in tasks:
+        if budget is not None and report.budget_spent + task.cost > budget + 1e-9:
+            report.skipped.append(task.key)
+            continue
+        admitted.append(task)
+        report.budget_spent += task.cost
+    if report.skipped and telemetry.enabled():
+        telemetry.registry().counter_inc(
+            "runner.tasks_skipped", float(len(report.skipped)), reason="budget"
+        )
+    return admitted
+
+
 def _run_serial(
     function: Callable[[ItemT], ResultT],
     tasks: List[_Task],
     policy: RetryPolicy,
     on_result: Optional[Callable[[int, str, object], None]],
+    report: Optional[RunReport] = None,
 ) -> RunReport:
-    report = RunReport(results=[None] * len(tasks))
+    if report is None:
+        report = RunReport(results=[None] * len(tasks))
     for task in tasks:
         while True:
             faults.set_current_attempt(task.attempt)
@@ -588,6 +642,8 @@ def _run_serial(
                 )
                 if task.attempt >= policy.max_attempts or category == "unsupported":
                     report.failures.append(record)
+                    if category == "unsupported":
+                        _refund_cost(report, task)
                     _record_attempt_failure(
                         task.key,
                         category,
@@ -630,6 +686,8 @@ def run_tasks(
     chunksize: int = 1,
     policy: Optional[RetryPolicy] = None,
     on_result: Optional[Callable[[int, str, object], None]] = None,
+    costs: Optional[Sequence[float]] = None,
+    budget: Optional[float] = None,
 ) -> RunReport:
     """Run ``function`` over ``items`` fault-tolerantly; never raises per-task.
 
@@ -648,13 +706,26 @@ def run_tasks(
         policy: retry/timeout/backoff knobs (default :class:`RetryPolicy`).
         on_result: called in the driver as each item lands (in completion
             order) with ``(index, key, value)``.
+        costs: estimated cost per item, same length as ``items``.  Costs
+            accumulate into ``report.budget_spent``; without a ``budget``
+            they are purely informational.
+        budget: admission ceiling over ``costs``.  Items are admitted in
+            order while their estimated cost fits the remaining budget;
+            the rest land in ``report.skipped`` with ``results[i] = None``
+            and are never scheduled.  Admission is decided up front from
+            the estimates, so it is deterministic regardless of worker
+            count or completion order.  An item that terminally fails as
+            ``unsupported`` refunds its cost (reported, not re-admitted).
 
     Returns:
         A :class:`RunReport`: per-item results (``None`` at the holes),
-        terminal failures, transient (retried) failures, and pool respawns.
+        terminal failures, transient (retried) failures, pool respawns,
+        and budget accounting (``skipped``/``budget_spent``/
+        ``budget_refunded``).
 
     Raises:
-        ConfigurationError: invalid ``workers``/``chunksize``/``keys``.
+        ConfigurationError: invalid ``workers``/``chunksize``/``keys``/
+            ``costs``/``budget``.
         ExperimentError: the pool broke more than ``policy.max_respawns``
             times — an environment-level failure no retry can fix.
     """
@@ -666,20 +737,42 @@ def run_tasks(
         raise ConfigurationError(
             f"keys/items length mismatch: {len(keys)} != {len(items)}"
         )
+    if costs is not None and len(costs) != len(items):
+        raise ConfigurationError(
+            f"costs/items length mismatch: {len(costs)} != {len(items)}"
+        )
+    if budget is not None:
+        if costs is None:
+            raise ConfigurationError("budget requires per-item costs")
+        if budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
     policy = policy if policy is not None else RetryPolicy()
     count = workers if workers is not None else default_worker_count()
     labels = list(keys) if keys is not None else [str(i) for i in range(len(items))]
     tasks = [_Task(index=i, key=labels[i], item=item) for i, item in enumerate(items)]
+    if costs is not None:
+        for task, cost in zip(tasks, costs):
+            if cost < 0:
+                raise ConfigurationError(
+                    f"cost for task {task.key!r} must be >= 0, got {cost}"
+                )
+            task.cost = float(cost)
     if not tasks:
         return RunReport()
+    report = RunReport(results=[None] * len(tasks))
+    tasks = _admit_for_budget(tasks, budget, report)
+    if not tasks:
+        return report
     serial = (count == 1 or len(tasks) == 1) and policy.timeout is None
     if telemetry.enabled():
         registry = telemetry.registry()
         registry.counter_inc("runner.tasks_submitted", float(len(tasks)))
         registry.gauge_max("runner.workers", 1.0 if serial else float(count))
     if serial:
-        return _run_serial(function, tasks, policy, on_result)
-    return _Scheduler(function, tasks, count, chunksize, policy, on_result).run()
+        return _run_serial(function, tasks, policy, on_result, report=report)
+    return _Scheduler(
+        function, tasks, count, chunksize, policy, on_result, report=report
+    ).run()
 
 
 def map_experiments(

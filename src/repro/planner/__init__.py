@@ -1,0 +1,39 @@
+"""Adaptive experiment selection under a measurement budget (ROADMAP #4).
+
+The paper's method is *active* measurement; this package makes the
+campaigns active too.  Instead of exhaustively running every CompressionB
+config × application product, a :class:`~repro.planner.base.Planner`
+strategy picks the next experiments each round — where the degradation
+trend's confidence band is widest (:class:`UncertaintyPlanner`) or where
+utilization coverage per estimated cost is best (:class:`GreedyCostPlanner`)
+— and :class:`PlannedCampaign` executes the chosen subsets through the
+pipeline's fault-tolerant runner under a budget of estimated
+experiment-seconds, stopping once the Queue model's holdout prediction
+error stabilizes.
+"""
+
+from .base import PlanContext, Planner, PlanProposal
+from .campaign import PlannedCampaign, PlanResult
+from .costs import CostModel, PRODUCT_KINDS
+from .strategies import (
+    GreedyCostPlanner,
+    UncertaintyPlanner,
+    available_planners,
+    get_planner,
+    holdout_schedule,
+)
+
+__all__ = [
+    "CostModel",
+    "GreedyCostPlanner",
+    "PRODUCT_KINDS",
+    "PlanContext",
+    "PlanProposal",
+    "PlanResult",
+    "PlannedCampaign",
+    "Planner",
+    "UncertaintyPlanner",
+    "available_planners",
+    "get_planner",
+    "holdout_schedule",
+]

@@ -1,0 +1,51 @@
+"""Shared fixtures for planner tests: a small, fast analytic pipeline.
+
+The analytic engine makes every experiment a closed-form evaluation, so
+planned-campaign tests run whole multi-round campaigns in well under a
+second while staying bit-deterministic.
+"""
+
+import pytest
+
+from repro.cluster import small_test_config
+from repro.core.experiments import PipelineSettings, ReproductionPipeline
+from repro.units import MS
+from repro.workloads import FFTW, MCB, CompressionConfig
+
+
+#: Six configs spanning the utilization axis (distinct sleep cycles and
+#: partner counts → distinct measured utilizations).
+CATALOG = [
+    CompressionConfig(1, 1, 2.5e7),
+    CompressionConfig(1, 1, 2.5e6),
+    CompressionConfig(2, 1, 2.5e6),
+    CompressionConfig(2, 1, 2.5e5),
+    CompressionConfig(3, 1, 2.5e5),
+    CompressionConfig(3, 2, 2.5e5),
+]
+
+
+def make_pipeline(cache_path=None, seed=0):
+    return ReproductionPipeline(
+        settings=PipelineSettings(
+            profile="quick",
+            seed=seed,
+            impact_duration=0.005,
+            signature_duration=0.005,
+            calibration_duration=0.005,
+            probe_interval=0.1 * MS,
+            engine="analytic",
+        ),
+        machine_config=small_test_config(seed=seed),
+        applications={
+            "fftw": FFTW(iterations=1, pack_compute=5e-5),
+            "mcb": MCB(iterations=2, track_compute=2e-4),
+        },
+        catalog=list(CATALOG),
+        cache_path=cache_path,
+    )
+
+
+@pytest.fixture
+def pipeline(tmp_path):
+    return make_pipeline(cache_path=tmp_path / "cache")

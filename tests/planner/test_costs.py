@@ -1,0 +1,74 @@
+"""Cost-model estimates: deterministic, settings-derived, calibratable."""
+
+import json
+
+import pytest
+
+from repro.core.experiments import PipelineSettings
+from repro.errors import ConfigurationError
+from repro.planner import PRODUCT_KINDS, CostModel
+
+
+def test_from_settings_covers_every_kind_and_is_deterministic():
+    settings = PipelineSettings(profile="quick", impact_duration=0.01)
+    one = CostModel.from_settings(settings)
+    two = CostModel.from_settings(settings)
+    assert dict(one.per_kind) == dict(two.per_kind)
+    assert set(one.per_kind) == set(PRODUCT_KINDS)
+    assert one.source == "settings"
+
+
+def test_stage_two_kinds_cost_more_than_solo_runs():
+    model = CostModel.from_settings(PipelineSettings(profile="quick"))
+    assert model.cost_of("degradation/fftw/P1xM1xB2.5e+06") > model.cost_of(
+        "impact/fftw"
+    )
+    assert model.cost_of("pair/fftw/mcb") > model.cost_of("baseline/fftw")
+
+
+def test_costs_for_aligns_with_key_order():
+    model = CostModel.from_settings(PipelineSettings(profile="quick"))
+    keys = ["calibration", "pair/a/b", "impact/x"]
+    assert model.costs_for(keys) == [model.cost_of(k) for k in keys]
+
+
+def test_unknown_kind_raises():
+    model = CostModel.from_settings(PipelineSettings(profile="quick"))
+    with pytest.raises(ConfigurationError):
+        model.cost_of("mystery/thing")
+
+
+def test_missing_kind_rejected():
+    with pytest.raises(ConfigurationError):
+        CostModel(per_kind={"impact": 1.0})
+
+
+def test_from_telemetry_report_uses_observed_task_means(tmp_path):
+    report = {
+        "version": 1,
+        "spans": {
+            "records": [
+                {"name": "task:analytic:pair/fftw/mcb", "dur": 2.0},
+                {"name": "task:analytic:pair/mcb/fftw", "dur": 4.0},
+                {"name": "task:impact/fftw", "dur": 0.5},
+                {"name": "stage:measurements", "dur": 99.0},  # not a task
+            ]
+        },
+    }
+    path = tmp_path / "telemetry.json"
+    path.write_text(json.dumps(report))
+    settings = PipelineSettings(profile="quick")
+    model = CostModel.from_telemetry_report(path, settings)
+    assert model.cost_of("pair/a/b") == pytest.approx(3.0)  # mean of 2 and 4
+    assert model.cost_of("impact/x") == pytest.approx(0.5)
+    # Kinds the report never ran fall back to the settings estimate.
+    fallback = CostModel.from_settings(settings)
+    assert model.cost_of("calibration") == fallback.cost_of("calibration")
+    assert model.source == str(path)
+
+
+def test_from_telemetry_report_without_tasks_needs_settings(tmp_path):
+    path = tmp_path / "telemetry.json"
+    path.write_text(json.dumps({"version": 1, "spans": {"records": []}}))
+    with pytest.raises(ConfigurationError):
+        CostModel.from_telemetry_report(path)

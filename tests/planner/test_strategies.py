@@ -1,0 +1,145 @@
+"""Strategy unit tests: deterministic, uncertainty-guided, cost-aware."""
+
+import math
+
+from repro.analysis.degradation import fit_degradation_trend
+from repro.planner import (
+    CostModel,
+    GreedyCostPlanner,
+    PlanContext,
+    UncertaintyPlanner,
+    available_planners,
+    get_planner,
+    holdout_schedule,
+)
+from repro.core.experiments import PipelineSettings
+
+
+def _context(fits, degradations, utilization, apps=("a", "b"), refused=()):
+    labels = tuple(sorted(utilization))
+    complete = tuple(
+        label
+        for label in labels
+        if all(label in degradations.get(app, {}) for app in apps)
+    )
+    return PlanContext(
+        round_index=1,
+        app_names=tuple(apps),
+        catalog_labels=labels,
+        utilization=utilization,
+        degradations=degradations,
+        complete_labels=complete,
+        fits=fits,
+        refused=frozenset(refused),
+        cost_model=CostModel.from_settings(PipelineSettings(profile="quick")),
+        seed=0,
+    )
+
+
+def _noisy_fit(xs, noise):
+    # Points on y = 10x with alternating residuals of the given magnitude.
+    points = [
+        (x, 10.0 * x + (noise if i % 2 else -noise)) for i, x in enumerate(xs)
+    ]
+    return fit_degradation_trend(points)
+
+
+def test_registry_exposes_both_strategies():
+    assert available_planners() == ("greedy", "uncertainty")
+    assert get_planner("uncertainty").name == "uncertainty"
+    assert get_planner("greedy").name == "greedy"
+
+
+def test_holdout_schedule_is_seed_deterministic_and_complete():
+    apps = ("a", "b", "c")
+    one = holdout_schedule(apps, seed=7)
+    two = holdout_schedule(apps, seed=7)
+    other = holdout_schedule(apps, seed=8)
+    assert one == two
+    assert sorted(one) == sorted((x, y) for x in apps for y in apps)
+    assert one != other  # different seed, different order
+
+
+def test_uncertainty_targets_the_widest_confidence_band():
+    # Fit measured at U ∈ {0.1, 0.2, 0.3}: candidates far from the measured
+    # mass (U=0.9) have the widest band and must win over interior ones.
+    fit = _noisy_fit([0.1, 0.2, 0.3], noise=1.0)
+    measured = {"L1": 1.0, "L2": 2.0, "L3": 3.0}
+    degradations = {"a": dict(measured), "b": dict(measured)}
+    utilization = {
+        "L1": 0.1,
+        "L2": 0.2,
+        "L3": 0.3,
+        "far": 0.9,
+        "near": 0.25,
+    }
+    context = _context({"a": fit, "b": fit}, degradations, utilization)
+    proposal = UncertaintyPlanner(labels_per_round=1).propose(context, None)
+    assert proposal.labels == ("far",)
+    assert set(proposal.keys) == {"degradation/a/far", "degradation/b/far"}
+
+
+def test_uncertainty_prefers_unfit_apps_first():
+    # App "b" has no fit at all → infinite stderr everywhere → any label
+    # completing b's curve outranks a finite band; ties break by label.
+    fit = _noisy_fit([0.1, 0.5, 0.9], noise=0.01)
+    degradations = {
+        "a": {"L1": 1.0, "L2": 5.0, "L3": 9.0},
+        "b": {},
+    }
+    utilization = {"L1": 0.1, "L2": 0.5, "L3": 0.9}
+    context = _context({"a": fit}, degradations, utilization)
+    proposal = UncertaintyPlanner(labels_per_round=2).propose(context, None)
+    assert proposal.labels == ("L1", "L2")  # inf scores, label tie-break
+
+
+def test_refused_keys_are_never_proposed():
+    degradations = {"a": {}, "b": {}}
+    utilization = {"L1": 0.2}
+    context = _context(
+        {}, degradations, utilization, refused={"degradation/a/L1"}
+    )
+    proposal = UncertaintyPlanner().propose(context, None)
+    assert proposal.keys == ("degradation/b/L1",)
+
+
+def test_empty_proposal_when_everything_measured():
+    degradations = {"a": {"L1": 1.0}, "b": {"L1": 2.0}}
+    context = _context({}, degradations, {"L1": 0.2})
+    assert not UncertaintyPlanner().propose(context, None)
+    assert not GreedyCostPlanner().propose(context, None)
+
+
+def test_greedy_fills_the_largest_utilization_gap():
+    # Measured coverage at U ∈ {0.1, 0.2}; candidates at 0.25 and 0.8 with
+    # equal cost → the 0.8 candidate fills a far larger gap.
+    measured = {"L1": 1.0, "L2": 2.0}
+    degradations = {"a": dict(measured), "b": dict(measured)}
+    utilization = {"L1": 0.1, "L2": 0.2, "mid": 0.25, "far": 0.8}
+    context = _context({}, degradations, utilization)
+    proposal = GreedyCostPlanner(labels_per_round=1).propose(context, None)
+    assert proposal.labels == ("far",)
+
+
+def test_greedy_recomputes_coverage_after_each_pick():
+    measured = {"L1": 1.0}
+    degradations = {"a": dict(measured), "b": dict(measured)}
+    utilization = {"L1": 0.5, "lo": 0.1, "hi": 0.9, "lo2": 0.12}
+    context = _context({}, degradations, utilization)
+    proposal = GreedyCostPlanner(labels_per_round=2).propose(context, None)
+    # After picking one extreme, the *other* extreme is the biggest gap —
+    # not the near-duplicate of the first pick.
+    assert set(proposal.labels) == {"lo", "hi"}
+
+
+def test_proposals_are_deterministic():
+    fit = _noisy_fit([0.1, 0.5, 0.9], noise=0.5)
+    measured = {"L1": 1.0, "L2": 5.0, "L3": 9.0}
+    degradations = {"a": dict(measured), "b": dict(measured)}
+    utilization = {"L1": 0.1, "L2": 0.5, "L3": 0.9, "c1": 0.3, "c2": 0.7}
+    for planner in (UncertaintyPlanner(), GreedyCostPlanner()):
+        context = _context({"a": fit, "b": fit}, degradations, utilization)
+        first = planner.propose(context, None)
+        second = planner.propose(context, None)
+        assert first.keys == second.keys
+        assert first.labels == second.labels
